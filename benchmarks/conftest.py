@@ -1,0 +1,27 @@
+"""Benchmark fixtures: one full 50-service study per session.
+
+Every bench regenerates its table/figure from the same collected study,
+mirroring the paper's workflow (collect once, analyze many ways).  The
+collection itself is benchmarked separately on a subset in
+``test_bench_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import run_study
+
+
+@pytest.fixture(scope="session")
+def full_study():
+    """The complete measurement campaign: 50 services, both OSes, both
+    media, ReCon trained on a held-out slice."""
+    return run_study(seed=2016, duration=240.0, train_recon=True)
+
+
+def assert_close(measured, paper, tolerance, label):
+    """Shape assertion helper: measured within ±tolerance of the paper."""
+    assert abs(measured - paper) <= tolerance, (
+        f"{label}: measured {measured} vs paper {paper} (tolerance ±{tolerance})"
+    )

@@ -1,0 +1,50 @@
+"""Ablation bench: tracker-blocking effectiveness (§5 future work).
+
+Not a paper table — it answers the paper's closing question ("how
+effective are existing browser privacy protection tools?") with the
+reproduction's machinery.  The expected shape:
+
+- EasyList blocking eliminates (essentially all) A&A exposure on the
+  web, and the majority of web leak events;
+- it does NOT protect first-party leaks nor the Gigya-style
+  credential flows, which are not in any filter list.
+"""
+
+from repro.core.countermeasures import evaluate_blocking, summarize_outcomes
+from repro.pii.types import PiiType
+from repro.services.catalog import build_catalog
+
+SUBSET = ("cnn", "accuweather", "grubhub", "foodnetwork")
+
+
+def test_bench_blocking_ablation(benchmark):
+    by_slug = {s.slug: s for s in build_catalog()}
+
+    def run():
+        return [
+            evaluate_blocking(by_slug[slug], "android", duration=120)
+            for slug in SUBSET
+        ]
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = summarize_outcomes(outcomes)
+
+    print("\n  blocking ablation:")
+    for outcome in outcomes:
+        print(
+            f"  {outcome.service:12s} A&A {len(outcome.baseline.aa_domains):3d} -> "
+            f"{len(outcome.protected.aa_domains):2d}   leaks "
+            f"{len(outcome.baseline.leaks):4d} -> {len(outcome.protected.leaks):4d}"
+        )
+    print(f"  overall reduction: {100 * summary['reduction']:.0f}%")
+
+    # A&A exposure is eliminated...
+    for outcome in outcomes:
+        assert len(outcome.protected.aa_domains) == 0
+        assert outcome.connections_blocked > 0
+    # ...most leak events disappear...
+    assert summary["reduction"] > 0.5
+    # ...but blocking is not a PII firewall:
+    assert summary["leaks_after"] > 0  # first-party leaks survive
+    assert "gigya.com" in summary["residual_third_parties"]
+    assert PiiType.PASSWORD in summary["residual_types"]

@@ -1,0 +1,111 @@
+"""Figure 1, panels (a)-(f): per-service app-minus-web distributions.
+
+Paper shapes (IMC 2016, §4.1-§4.2):
+
+  1a  83% (Android) / 78% (iOS) of services contact more A&A domains
+      via web; x spans roughly [-60, +20].
+  1b  73% / 80% have more flows to A&A on the web; hundreds to
+      thousands of extra TCP connections.
+  1c  Web A&A traffic often costs several MB more; x in [-5, +3] MB.
+  1d  Domains receiving PII: slight bias toward apps.
+  1e  PDF of leaked-identifier diffs: mode at +1, strong positive bias.
+  1f  Jaccard of leaked identifier sets: no overlap for more than half
+      of services; 80-90% share at most half their types.
+"""
+
+from repro.analysis.figures import (
+    fig1a,
+    fig1b,
+    fig1c,
+    fig1d,
+    fig1e,
+    fig1f,
+    render_series,
+)
+from repro.analysis.stats import fraction
+
+from .conftest import assert_close
+
+
+def _summarize(series_by_os, threshold=-1):
+    for os_name, series in series_by_os.items():
+        print(
+            f"  {series.figure} {os_name}: n={series.n} "
+            f"neg={series.percent_leq(threshold) if series.kind == 'cdf' else '-'} "
+            f"range=[{min(series.values)}, {max(series.values)}]"
+        )
+
+
+def test_bench_fig1a(benchmark, full_study):
+    series = benchmark(fig1a, full_study)
+    print()
+    _summarize(series)
+    # Paper: 83% Android, 78% iOS of services contact more A&A via web.
+    assert_close(series["android"].percent_leq(-1), 83.0, 8.0, "1a android %web-more")
+    assert_close(series["ios"].percent_leq(-1), 78.0, 10.0, "1a ios %web-more")
+    for os_series in series.values():
+        assert min(os_series.values) <= -20  # heavy web tail (news sites)
+        assert max(os_series.values) >= 10  # ad-mediation app outlier
+
+
+def test_bench_fig1b(benchmark, full_study):
+    series = benchmark(fig1b, full_study)
+    print()
+    _summarize(series)
+    # Paper: 73% / 80% of services send more flows to A&A on the web.
+    assert_close(series["android"].percent_leq(-1), 73.0, 15.0, "1b android")
+    assert_close(series["ios"].percent_leq(-1), 80.0, 12.0, "1b ios")
+    for os_series in series.values():
+        assert min(os_series.values) <= -300  # hundreds of extra connections
+        assert max(os_series.values) >= 50  # chatty-SDK apps exist
+
+
+def test_bench_fig1c(benchmark, full_study):
+    series = benchmark(fig1c, full_study)
+    print()
+    _summarize(series, threshold=-0.001)
+    for os_name, os_series in series.items():
+        # Most services spend more A&A bytes on the web...
+        assert os_series.percent_leq(-0.001) >= 70.0, os_name
+        # ...sometimes several MB more, within the paper's [-5, 3] band.
+        assert -6.0 <= min(os_series.values) <= -1.0
+        assert max(os_series.values) <= 4.0
+
+
+def test_bench_fig1d(benchmark, full_study):
+    series = benchmark(fig1d, full_study)
+    print()
+    _summarize(series)
+    for os_name, os_series in series.items():
+        positive = fraction(os_series.values, lambda v: v > 0)
+        negative = fraction(os_series.values, lambda v: v < 0)
+        # Paper: "a slight bias toward apps leaking PII to more domains".
+        assert positive > negative, os_name
+
+
+def test_bench_fig1e(benchmark, full_study):
+    series = benchmark(fig1e, full_study)
+    for os_name, os_series in series.items():
+        print("\n" + render_series(os_series))
+        bins = dict(os_series.points)
+        mode = max(bins, key=bins.get)
+        # Paper: the most common case is the app leaking one more type.
+        assert mode in (1, 2), f"{os_name} mode {mode}"
+        positive = fraction(os_series.values, lambda v: v > 0)
+        negative = fraction(os_series.values, lambda v: v < 0)
+        assert positive > negative  # strong bias toward apps
+        assert min(os_series.values) >= -5 and max(os_series.values) <= 6
+
+
+def test_bench_fig1f(benchmark, full_study):
+    series = benchmark(fig1f, full_study)
+    print()
+    for os_name, os_series in series.items():
+        zero = os_series.percent_leq(0.0)
+        half = os_series.percent_leq(0.5)
+        print(f"  1f {os_name}: zero-overlap={zero:.0f}%  <=0.5={half:.0f}%")
+        # Paper: nothing in common more than half the time...
+        assert_close(zero, 50.0, 8.0, f"1f {os_name} zero-overlap")
+        # ...and 80-90% share at most 50% of leaked types.
+        assert half >= 80.0
+        assert all(0.0 <= v <= 1.0 for v in os_series.values)

@@ -1,0 +1,67 @@
+"""Table 2: top A&A domains by total PII leaks received.
+
+Paper shape (IMC 2016, Table 2):
+
+  - amobee receives the most leaks while being used by the fewest
+    services (1), on both media;
+  - google-analytics and facebook are the most widely embedded
+    (35/41 and 38/41 services), yet receive few leaks each (1.8-3.7
+    app, 0.4-2.7 web);
+  - several domains are app-side only (vrvm, liftoff, groceryserver);
+  - cloudinary receives leaks only from the web;
+  - most top domains receive at least one identifier type from apps
+    that they don't get from the web.
+"""
+
+from repro.analysis.tables import render_table2, table2
+
+from .conftest import assert_close
+
+
+def test_bench_table2(benchmark, full_study):
+    rows = benchmark(table2, full_study, 20)
+    print("\n" + render_table2(rows))
+    by_domain = {r.domain: r for r in rows}
+
+    # -- amobee: one service, massive leak rate, tops the table -------------
+    amobee = by_domain["amobee.com"]
+    assert amobee.services_app == 1
+    assert amobee.services_web == 1
+    assert amobee.avg_leaks_app == max(r.avg_leaks_app for r in rows)
+    assert amobee.avg_leaks_app > 300  # paper: 517
+    assert amobee.avg_leaks_web > 30  # paper: 314
+    assert rows[0].domain == "amobee.com"  # sorted by total leaks
+
+    # -- pervasive but quiet: GA and facebook -------------------------------
+    ga = by_domain["google-analytics.com"]
+    fb = by_domain["facebook.com"]
+    assert ga.services_app >= 30 and ga.services_web >= 35
+    assert fb.services_app >= 35 and fb.services_web >= 35
+    assert ga.avg_leaks_app < 20  # paper: 1.8
+    assert fb.avg_leaks_app < 20  # paper: 3.7
+    # facebook is the most pervasively contacted domain across apps
+    assert fb.services_app == max(r.services_app for r in rows)
+
+    # -- app-only recipients -------------------------------------------------
+    for app_only in ("vrvm.com",):
+        if app_only in by_domain:
+            row = by_domain[app_only]
+            assert row.services_web == 0
+            assert row.avg_leaks_web == 0.0
+
+    # -- moat: far more app leaks than web (paper: 61.4 vs 0.2) -------------
+    moat = by_domain.get("moatads.com")
+    if moat is not None:
+        assert moat.avg_leaks_app > moat.avg_leaks_web
+
+    # -- contact overlap: services use the same trackers across platforms ---
+    overlapping = [r for r in rows if r.services_both > 0]
+    assert len(overlapping) >= len(rows) // 2
+
+    # -- platform-specific collection: apps yield identifier types the web
+    #    side doesn't (paper: "top A&A domains collect at least one type
+    #    of PII from apps that are not collected via Web sites") ------------
+    app_exclusive = [
+        r for r in rows if r.identifiers_app - r.identifiers_web
+    ]
+    assert len(app_exclusive) >= len(rows) // 2

@@ -1,0 +1,55 @@
+"""Reproduce the paper's password-leak findings (§4.2).
+
+The study found four services sending passwords to third parties over
+HTTPS: Grubhub -> taplytics.com (a confirmed bug, later fixed), JetBlue
+-> usablenet.com (intentional, for authentication), and The Food Network
+and NCAA Sports -> Gigya (a third-party credential manager users were
+never told about).  This example runs exactly those services and prints
+every password observation with its destination and the leak-policy
+reason.
+
+Run:  python examples/password_leak_audit.py
+"""
+
+from repro import PiiType, run_study
+from repro.services import build_catalog
+
+
+def main() -> None:
+    catalog = {spec.slug: spec for spec in build_catalog()}
+    suspects = [catalog[slug] for slug in ("grubhub", "jetblue", "foodnetwork", "ncaa", "hotels")]
+
+    print("Auditing password handling for:", ", ".join(s.name for s in suspects))
+    study = run_study(services=suspects, train_recon=False)
+
+    total = 0
+    for result in study.services:
+        for (os_name, medium), cell in sorted(result.sessions.items()):
+            password_leaks = [r for r in cell.leaks if r.pii_type == PiiType.PASSWORD]
+            for record in password_leaks:
+                total += 1
+                obs = record.observation
+                transport = "PLAINTEXT" if obs.plaintext else "HTTPS"
+                print(
+                    f"  {result.spec.name:22s} {os_name:7s} {medium:3s} -> "
+                    f"{obs.hostname:28s} ({record.reason}, {transport})"
+                )
+
+    print(f"\n{total} password observations classified as leaks.")
+    print("Note: passwords sent to the first party over HTTPS during login")
+    print("are correctly NOT counted (the policy's credential carve-out).")
+
+    # Show the carve-out explicitly: every service above also posted the
+    # password to its own login endpoint, and none of those appear.
+    grubhub = study.by_slug("grubhub")
+    app_cell = grubhub.cell("android", "app")
+    first_party_pw = [
+        r
+        for r in app_cell.leaks
+        if r.pii_type == PiiType.PASSWORD and r.category.is_first_party
+    ]
+    print(f"First-party password 'leaks' recorded for Grubhub app: {len(first_party_pw)}")
+
+
+if __name__ == "__main__":
+    main()

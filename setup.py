@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+`pip install -e .` needs the `wheel` package (PEP 660 editable wheels);
+on fully offline machines without it, `python setup.py develop` performs
+the equivalent legacy editable install using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

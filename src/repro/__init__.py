@@ -1,0 +1,49 @@
+"""repro — reproduction of "Should You Use the App for That?" (IMC 2016).
+
+A complete, self-contained measurement environment: simulated handsets
+and browsers, a 50-service online-service world with its tracking
+ecosystem, a Meddle/mitmproxy-style interception proxy, ReCon-style PII
+detection, and the analysis pipeline that regenerates the paper's
+tables and figures.
+
+Quickstart::
+
+    from repro import run_study
+    study = run_study()                 # the full 50-service campaign
+    from repro.analysis import table3, render_table3
+    print(render_table3(table3(study)))
+"""
+
+from .core import (
+    PrivacyPreferences,
+    Recommendation,
+    Recommender,
+    ServiceResult,
+    SessionAnalysis,
+    StudyResult,
+    analyze_dataset,
+    run_study,
+)
+from .experiment import Dataset, ExperimentRunner, SessionRecord
+from .pii.types import PiiType
+from .services import build_catalog, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "ExperimentRunner",
+    "PiiType",
+    "PrivacyPreferences",
+    "Recommendation",
+    "Recommender",
+    "ServiceResult",
+    "SessionAnalysis",
+    "SessionRecord",
+    "StudyResult",
+    "analyze_dataset",
+    "build_catalog",
+    "build_world",
+    "run_study",
+    "__version__",
+]

@@ -1,0 +1,140 @@
+"""Figure generators: the six panels of Figure 1.
+
+Each generator returns a :class:`FigureSeries` per OS containing the raw
+per-service values and the empirical CDF/PDF points exactly as plotted:
+
+- 1a: CDF of (app − web) unique A&A domains contacted
+- 1b: CDF of (app − web) flows to A&A domains
+- 1c: CDF of (app − web) megabytes to A&A domains
+- 1d: CDF of (app − web) domains receiving PII
+- 1e: PDF of (app − web) distinct leaked identifiers
+- 1f: CDF of the Jaccard index of leaked identifier sets
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.compare import study_diffs
+from ..core.pipeline import StudyResult
+from .stats import cdf_at, cdf_points, pdf_histogram
+
+OSES = ("android", "ios")
+
+
+@dataclass
+class FigureSeries:
+    """One OS curve of one figure panel."""
+
+    figure: str
+    os_name: str
+    values: list
+    points: list  # (x, percent) pairs — CDF steps or PDF bins
+    kind: str = "cdf"
+
+    def percent_leq(self, x: float) -> float:
+        """CDF convenience: percent of services with value <= x."""
+        if self.kind != "cdf":
+            raise ValueError("percent_leq only applies to CDF series")
+        return cdf_at(self.values, x)
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+
+def _cdf_figure(study: StudyResult, figure: str, extractor) -> dict:
+    out = {}
+    for os_name in OSES:
+        values = [extractor(d) for d in study_diffs(study, os_name)]
+        out[os_name] = FigureSeries(
+            figure=figure,
+            os_name=os_name,
+            values=values,
+            points=cdf_points(values),
+            kind="cdf",
+        )
+    return out
+
+
+def fig1a(study: StudyResult) -> dict:
+    """(App − Web) A&A domains contacted, per OS."""
+    return _cdf_figure(study, "1a", lambda d: d.aa_domains)
+
+
+def fig1b(study: StudyResult) -> dict:
+    """(App − Web) flows to A&A domains, per OS."""
+    return _cdf_figure(study, "1b", lambda d: d.aa_flows)
+
+
+def fig1c(study: StudyResult) -> dict:
+    """(App − Web) MB of traffic to A&A domains, per OS."""
+    return _cdf_figure(study, "1c", lambda d: d.aa_megabytes)
+
+
+def fig1d(study: StudyResult) -> dict:
+    """(App − Web) count of domains receiving PII, per OS."""
+    return _cdf_figure(study, "1d", lambda d: d.leak_domains)
+
+
+def fig1e(study: StudyResult) -> dict:
+    """PDF of (App − Web) distinct leaked identifier counts, per OS."""
+    out = {}
+    for os_name in OSES:
+        values = [d.leak_identifiers for d in study_diffs(study, os_name)]
+        out[os_name] = FigureSeries(
+            figure="1e",
+            os_name=os_name,
+            values=values,
+            points=pdf_histogram(values),
+            kind="pdf",
+        )
+    return out
+
+
+def fig1f(study: StudyResult) -> dict:
+    """CDF of the Jaccard index of leaked identifier sets, per OS.
+
+    Services with no leaks on either medium (Jaccard of two empty sets)
+    are excluded, matching a plot of observed leak overlap.
+    """
+    out = {}
+    for os_name in OSES:
+        values = [
+            d.jaccard_identifiers
+            for d in study_diffs(study, os_name)
+            if d.app_leak_types or d.web_leak_types
+        ]
+        out[os_name] = FigureSeries(
+            figure="1f",
+            os_name=os_name,
+            values=values,
+            points=cdf_points(values),
+            kind="cdf",
+        )
+    return out
+
+
+ALL_FIGURES = {
+    "1a": fig1a,
+    "1b": fig1b,
+    "1c": fig1c,
+    "1d": fig1d,
+    "1e": fig1e,
+    "1f": fig1f,
+}
+
+
+def render_series(series: FigureSeries, width: int = 60) -> str:
+    """ASCII rendering of one curve, for the bench harness output."""
+    lines = [f"Figure {series.figure} ({series.os_name}, n={series.n}, {series.kind})"]
+    if not series.points:
+        lines.append("  (no data)")
+        return "\n".join(lines)
+    for x, pct in series.points:
+        bar = "#" * int(pct / 100.0 * width)
+        if isinstance(x, float):
+            lines.append(f"  {x:10.2f} {pct:6.1f}% {bar}")
+        else:
+            lines.append(f"  {x:10d} {pct:6.1f}% {bar}")
+    return "\n".join(lines)

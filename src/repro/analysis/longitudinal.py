@@ -1,0 +1,137 @@
+"""Longitudinal study comparison.
+
+§2 notes the study "represents a snapshot of online service behavior at
+one point in time" but "the approach is general and can be repeated to
+observe how the privacy landscape evolves".  This module is the
+repeat-and-compare half: given two :class:`StudyResult` runs (different
+catalog versions, different dates, different seeds), it diffs the
+privacy-relevant quantities per service and summarizes the drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.pipeline import StudyResult
+from ..experiment.dataset import APP, WEB
+
+
+@dataclass(frozen=True)
+class ServiceDrift:
+    """Change in one service's privacy profile between two studies."""
+
+    service: str
+    medium: str
+    types_added: frozenset
+    types_removed: frozenset
+    aa_domains_delta: int
+    leak_events_delta: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(
+            self.types_added
+            or self.types_removed
+            or self.aa_domains_delta
+            or self.leak_events_delta
+        )
+
+    @property
+    def improved(self) -> bool:
+        """Strictly fewer leaked types and no new ones (the Grubhub-fix
+        pattern: the §4.2 password bug disappearing in a later snapshot)."""
+        return bool(self.types_removed) and not self.types_added
+
+
+def _medium_metrics(result, medium):
+    types: set = set()
+    aa_domains: set = set()
+    events = 0
+    for (os_name, med), analysis in result.sessions.items():
+        if med != medium:
+            continue
+        types |= analysis.leak_types
+        aa_domains |= analysis.aa_domains
+        events += len(analysis.leaks)
+    return types, aa_domains, events
+
+
+def diff_studies(before: StudyResult, after: StudyResult) -> list:
+    """Per-service, per-medium drift between two snapshots.
+
+    Services present in only one study are skipped — the comparison is
+    about behavioural change, not catalog churn.
+    """
+    before_by_slug = {r.spec.slug: r for r in before.services}
+    drifts = []
+    for result in after.services:
+        earlier = before_by_slug.get(result.spec.slug)
+        if earlier is None:
+            continue
+        for medium in (APP, WEB):
+            old_types, old_domains, old_events = _medium_metrics(earlier, medium)
+            new_types, new_domains, new_events = _medium_metrics(result, medium)
+            drifts.append(
+                ServiceDrift(
+                    service=result.spec.slug,
+                    medium=medium,
+                    types_added=frozenset(new_types - old_types),
+                    types_removed=frozenset(old_types - new_types),
+                    aa_domains_delta=len(new_domains) - len(old_domains),
+                    leak_events_delta=new_events - old_events,
+                )
+            )
+    return drifts
+
+
+@dataclass
+class DriftSummary:
+    """Headline counts for a landscape-evolution report."""
+
+    services_compared: int
+    unchanged: int
+    improved: int
+    regressed: int  # new identifier classes started leaking
+    drifts: list = field(default_factory=list)
+
+
+def summarize_drift(before: StudyResult, after: StudyResult) -> DriftSummary:
+    drifts = diff_studies(before, after)
+    by_service: dict = {}
+    for drift in drifts:
+        by_service.setdefault(drift.service, []).append(drift)
+    unchanged = improved = regressed = 0
+    for service_drifts in by_service.values():
+        if not any(d.changed for d in service_drifts):
+            unchanged += 1
+        if any(d.types_added for d in service_drifts):
+            regressed += 1
+        elif any(d.improved for d in service_drifts):
+            improved += 1
+    return DriftSummary(
+        services_compared=len(by_service),
+        unchanged=unchanged,
+        improved=improved,
+        regressed=regressed,
+        drifts=drifts,
+    )
+
+
+def render_drift(summary: DriftSummary) -> str:
+    """Text report of what changed between the snapshots."""
+    lines = [
+        f"services compared: {summary.services_compared}  "
+        f"unchanged: {summary.unchanged}  improved: {summary.improved}  "
+        f"regressed: {summary.regressed}",
+    ]
+    for drift in summary.drifts:
+        if not drift.changed:
+            continue
+        added = ",".join(sorted(t.code for t in drift.types_added)) or "-"
+        removed = ",".join(sorted(t.code for t in drift.types_removed)) or "-"
+        lines.append(
+            f"  {drift.service:15s} {drift.medium:3s} +types:{added:10s} "
+            f"-types:{removed:10s} A&A {drift.aa_domains_delta:+3d} "
+            f"events {drift.leak_events_delta:+5d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Statistical helpers for the evaluation: CDFs, PDFs, mean±std.
+
+Pure-Python implementations (no numpy dependency in the library proper)
+matching the presentation style of the paper's figures: empirical CDFs
+in percent of services, integer-binned PDFs, and the mean ± population
+standard deviation format of Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def std(values: Sequence) -> float:
+    """Population standard deviation (what Table 1's ± denotes)."""
+    values = list(values)
+    if not values:
+        raise ValueError("std of empty sequence")
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def mean_std(values: Sequence) -> tuple:
+    return (mean(values), std(values))
+
+
+def format_mean_std(values: Sequence, precision: int = 1) -> str:
+    """Render like Table 1: ``4.7 ± 4.7``; empty input renders ``-``."""
+    values = list(values)
+    if not values:
+        return "-"
+    mu, sigma = mean_std(values)
+    return f"{mu:.{precision}f} ± {sigma:.{precision}f}"
+
+
+def cdf_points(values: Sequence) -> list:
+    """Empirical CDF as (x, percent_of_samples_<=_x) steps.
+
+    Matches the figures' y-axis ("CDF of Services", 0–100).
+    """
+    values = sorted(values)
+    n = len(values)
+    if n == 0:
+        return []
+    points = []
+    for index, value in enumerate(values, start=1):
+        # Collapse duplicate x to the highest percentile.
+        if points and points[-1][0] == value:
+            points[-1] = (value, 100.0 * index / n)
+        else:
+            points.append((value, 100.0 * index / n))
+    return points
+
+
+def cdf_at(values: Sequence, x: float) -> float:
+    """Percent of samples <= x under the empirical CDF."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return 100.0 * sum(1 for v in values if v <= x) / len(values)
+
+
+def pdf_histogram(values: Sequence) -> list:
+    """Integer-binned PDF as (bin, percent) pairs (Figure 1e's style)."""
+    values = list(values)
+    if not values:
+        return []
+    counts = Counter(int(round(v)) for v in values)
+    n = len(values)
+    return [(bin_, 100.0 * count / n) for bin_, count in sorted(counts.items())]
+
+
+def percentile(values: Sequence, pct: float) -> float:
+    """Nearest-rank percentile (0 < pct <= 100)."""
+    values = sorted(values)
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 < pct <= 100:
+        raise ValueError(f"pct out of range: {pct}")
+    rank = max(1, math.ceil(pct / 100.0 * len(values)))
+    return values[rank - 1]
+
+
+def fraction(values: Iterable, predicate) -> float:
+    """Fraction of values satisfying ``predicate`` (0.0 for no values)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(1 for v in values if predicate(v)) / len(values)

@@ -1,0 +1,276 @@
+"""Command-line interface.
+
+``repro run`` executes the full measurement campaign and prints the
+paper's tables; subcommands regenerate individual artifacts or make
+app-vs-web recommendations.  Everything is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.figures import ALL_FIGURES, render_series
+from .analysis.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    table1,
+    table2,
+    table3,
+)
+from .core.pipeline import run_study
+from .core.recommend import PrivacyPreferences, Recommender
+from .services.catalog import build_catalog
+
+
+def _build_study(args):
+    services = build_catalog()
+    if getattr(args, "services", None):
+        wanted = set(args.services.split(","))
+        services = [s for s in services if s.slug in wanted]
+        if not services:
+            raise SystemExit(f"no catalog services match {args.services!r}")
+    return run_study(
+        services=services,
+        seed=args.seed,
+        duration=args.duration,
+        train_recon=not args.no_recon,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2016, help="study RNG seed")
+    parser.add_argument(
+        "--duration", type=float, default=240.0, help="session length in seconds"
+    )
+    parser.add_argument(
+        "--services", help="comma-separated service slugs (default: all 50)"
+    )
+    parser.add_argument(
+        "--no-recon", action="store_true", help="skip ReCon training (matching only)"
+    )
+
+
+def cmd_run(args) -> int:
+    study = _build_study(args)
+    print(render_table1(table1(study)))
+    print()
+    print(render_table2(table2(study)))
+    print()
+    print(render_table3(table3(study)))
+    return 0
+
+
+def cmd_tables(args) -> int:
+    study = _build_study(args)
+    renderers = {"1": (table1, render_table1), "2": (table2, render_table2), "3": (table3, render_table3)}
+    if args.table not in renderers:
+        raise SystemExit(f"unknown table {args.table!r} (choose 1, 2, or 3)")
+    generate, render = renderers[args.table]
+    print(render(generate(study)))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    study = _build_study(args)
+    generator = ALL_FIGURES.get(args.figure)
+    if generator is None:
+        raise SystemExit(f"unknown figure {args.figure!r} (choose {sorted(ALL_FIGURES)})")
+    for os_name, series in generator(study).items():
+        print(render_series(series))
+        print()
+    return 0
+
+
+def cmd_recommend(args) -> int:
+    study = _build_study(args)
+    preferences = PrivacyPreferences()
+    recommender = Recommender(study, preferences)
+    for os_name in ("android", "ios"):
+        print(f"--- {os_name} ---")
+        for rec in recommender.recommend_all(os_name):
+            print(
+                f"{rec.service:15s} use the {rec.choice:6s} "
+                f"(app={rec.app_score:.2f}, web={rec.web_score:.2f})"
+            )
+        print("summary:", recommender.summary(os_name))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis.report import render_markdown
+
+    study = _build_study(args)
+    print(render_markdown(study, seed=args.seed, duration=args.duration))
+    return 0
+
+
+def cmd_collect(args) -> int:
+    from .experiment.runner import ExperimentRunner
+    from .services.world import build_world
+
+    services = build_catalog()
+    if args.services:
+        wanted = set(args.services.split(","))
+        services = [s for s in services if s.slug in wanted]
+    world = build_world(services)
+    runner = ExperimentRunner(world, seed=args.seed)
+    dataset = runner.run_study(services, duration=args.duration)
+    dataset.save(args.out)
+    print(f"saved {len(dataset)} sessions ({dataset.total_flows()} flows) to {args.out}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from .core.pipeline import analyze_dataset
+    from .experiment.dataset import Dataset
+
+    dataset = Dataset.load(args.dataset)
+    slugs = set(dataset.services())
+    services = [s for s in build_catalog() if s.slug in slugs]
+    study = analyze_dataset(dataset, services, train_recon=not args.no_recon)
+    print(render_table1(table1(study)))
+    print()
+    print(render_table3(table3(study)))
+    return 0
+
+
+def cmd_har(args) -> int:
+    from .experiment.runner import ExperimentRunner
+    from .net.har import dump_har
+    from .services.world import build_world
+
+    services = [s for s in build_catalog() if s.slug == args.service]
+    if not services:
+        raise SystemExit(f"unknown service {args.service!r}")
+    world = build_world(services)
+    runner = ExperimentRunner(world, seed=args.seed)
+    record = runner.run_session(services[0], args.os, args.medium, duration=args.duration)
+    dump_har(record.trace, args.out)
+    print(f"wrote {len(record.trace)} flows to {args.out}")
+    return 0
+
+
+def cmd_blocking(args) -> int:
+    from .core.countermeasures import evaluate_blocking, summarize_outcomes
+
+    services = build_catalog()
+    if args.services:
+        wanted = set(args.services.split(","))
+        services = [s for s in services if s.slug in wanted]
+    outcomes = []
+    for spec in services:
+        os_name = "android" if "android" in spec.oses else spec.oses[0]
+        outcome = evaluate_blocking(spec, os_name, seed=args.seed, duration=args.duration)
+        outcomes.append(outcome)
+        print(
+            f"{spec.slug:15s} A&A domains {len(outcome.baseline.aa_domains):3d} -> "
+            f"{len(outcome.protected.aa_domains):2d}  leaks "
+            f"{len(outcome.baseline.leaks):4d} -> {len(outcome.protected.leaks):4d}  "
+            f"residual 3rd parties: {sorted(outcome.residual_third_parties) or '-'}"
+        )
+    summary = summarize_outcomes(outcomes)
+    print(
+        f"\noverall leak reduction: {100 * summary['reduction']:.0f}%  "
+        f"residual types: {sorted(t.code for t in summary['residual_types'])}"
+    )
+    return 0
+
+
+def cmd_reach(args) -> int:
+    from .analysis.reach import render_reach, summarize_reach
+
+    study = _build_study(args)
+    print(render_reach(study))
+    summary = summarize_reach(study)
+    print(
+        f"\n{summary.trackers} A&A domains observed; "
+        f"{summary.cross_platform_trackers} present on both media; "
+        f"{len(summary.linkers)} hold a cross-platform join key "
+        f"({', '.join(summary.linkers) or 'none'})"
+    )
+    return 0
+
+
+def cmd_catalog(args) -> int:
+    for spec in build_catalog():
+        oses = "/".join(spec.oses)
+        print(
+            f"{spec.name:28s} {spec.category:14s} rank={spec.rank:3d} "
+            f"{spec.domain:18s} [{oses}]"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Should You Use the App for That?' (IMC 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="full study: all tables")
+    _add_common(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    tables_parser = sub.add_parser("table", help="print one table (1, 2, or 3)")
+    tables_parser.add_argument("table", help="table number")
+    _add_common(tables_parser)
+    tables_parser.set_defaults(func=cmd_tables)
+
+    figure_parser = sub.add_parser("figure", help="print one figure (1a..1f)")
+    figure_parser.add_argument("figure", help="figure id, e.g. 1a")
+    _add_common(figure_parser)
+    figure_parser.set_defaults(func=cmd_figure)
+
+    rec_parser = sub.add_parser("recommend", help="app-or-web per service")
+    _add_common(rec_parser)
+    rec_parser.set_defaults(func=cmd_recommend)
+
+    catalog_parser = sub.add_parser("catalog", help="list the 50 services")
+    catalog_parser.set_defaults(func=cmd_catalog)
+
+    report_parser = sub.add_parser("report", help="paper-vs-measured markdown report")
+    _add_common(report_parser)
+    report_parser.set_defaults(func=cmd_report)
+
+    collect_parser = sub.add_parser("collect", help="run the campaign, save the dataset")
+    _add_common(collect_parser)
+    collect_parser.add_argument("--out", required=True, help="output directory")
+    collect_parser.set_defaults(func=cmd_collect)
+
+    analyze_parser = sub.add_parser("analyze", help="analyze a saved dataset")
+    analyze_parser.add_argument("dataset", help="dataset directory from 'collect'")
+    analyze_parser.add_argument("--no-recon", action="store_true")
+    analyze_parser.set_defaults(func=cmd_analyze)
+
+    har_parser = sub.add_parser("har", help="export one session as a HAR file")
+    har_parser.add_argument("service", help="service slug")
+    har_parser.add_argument("--os", default="android", choices=["android", "ios"])
+    har_parser.add_argument("--medium", default="web", choices=["app", "web"])
+    har_parser.add_argument("--out", default="session.har")
+    har_parser.add_argument("--seed", type=int, default=2016)
+    har_parser.add_argument("--duration", type=float, default=240.0)
+    har_parser.set_defaults(func=cmd_har)
+
+    blocking_parser = sub.add_parser(
+        "blocking", help="tracker-blocking effectiveness (§5 future work)"
+    )
+    _add_common(blocking_parser)
+    blocking_parser.set_defaults(func=cmd_blocking)
+
+    reach_parser = sub.add_parser("reach", help="cross-platform tracker reach (§4.2)")
+    _add_common(reach_parser)
+    reach_parser.set_defaults(func=cmd_reach)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

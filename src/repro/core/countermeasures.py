@@ -1,0 +1,166 @@
+"""Tracker-blocking countermeasures (§5 future work).
+
+The paper closes by asking "how effective are existing browser privacy
+protection tools in light of our findings?".  This module answers that
+question inside the reproduction: a :class:`TrackerBlockingTransport`
+plays the role of an AdBlock/Disconnect-style extension by refusing
+connections to EasyList-matched hosts, and :func:`evaluate_blocking`
+reruns a service's web session with and without protection to quantify
+what blocking actually buys — and what it structurally cannot catch
+(first-party leaks, and non-A&A third parties like Gigya).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..experiment.dataset import WEB
+from ..experiment.runner import ExperimentRunner
+from ..http.transport import NetworkError, Transport
+from ..services.service import ServiceSpec
+from ..services.world import World, build_world
+from ..trackerdb.abpfilter import FilterList
+from ..trackerdb.easylist import bundled_easylist
+from .pipeline import SessionAnalysis, analyze_session
+
+
+class BlockedRequest(NetworkError):
+    """Raised when the blocker refuses a connection."""
+
+
+class TrackerBlockingTransport:
+    """A transport decorator that drops EasyList-matched connections.
+
+    ``page_host`` provides first-party context (extensions know the tab's
+    site), so first-party hosts are never blocked even when a rule like
+    ``||facebook.com^$third-party`` exists.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        page_host: str,
+        filter_list: Optional[FilterList] = None,
+    ) -> None:
+        self.inner = inner
+        self.page_host = page_host
+        self.filter_list = filter_list if filter_list is not None else bundled_easylist()
+        self.blocked = 0
+        self.allowed = 0
+
+    def connect(self, host: str, port: int, scheme: str, enforce_pins: bool = False):
+        probe = f"{scheme}://{host}/"
+        if self.filter_list.matches(probe, page_host=self.page_host):
+            self.blocked += 1
+            raise BlockedRequest(f"blocked by filter list: {host}")
+        self.allowed += 1
+        return self.inner.connect(host, port, scheme, enforce_pins=enforce_pins)
+
+
+@dataclass
+class BlockingOutcome:
+    """Effect of tracker blocking on one web session."""
+
+    service: str
+    os_name: str
+    baseline: SessionAnalysis
+    protected: SessionAnalysis
+    connections_blocked: int
+
+    @property
+    def aa_domains_removed(self) -> int:
+        return len(self.baseline.aa_domains) - len(self.protected.aa_domains)
+
+    @property
+    def leaks_prevented(self) -> int:
+        return len(self.baseline.leaks) - len(self.protected.leaks)
+
+    @property
+    def residual_leak_types(self) -> set:
+        """PII classes still leaking with the blocker on."""
+        return self.protected.leak_types
+
+    @property
+    def residual_third_parties(self) -> set:
+        """Third-party domains still receiving leaks (the Gigya gap)."""
+        return {
+            record.domain
+            for record in self.protected.leaks
+            if record.category.is_third_party
+        }
+
+
+def evaluate_blocking(
+    spec: ServiceSpec,
+    os_name: str = "android",
+    seed: int = 2016,
+    duration: float = 240.0,
+    filter_list: Optional[FilterList] = None,
+) -> BlockingOutcome:
+    """Measure a web session for ``spec`` with and without blocking.
+
+    Both runs use identical seeds and fresh worlds, so the only
+    difference is the blocker.
+    """
+    baseline_record = _run_web(spec, os_name, seed, duration, blocker=None)
+    blocked_counter = []
+    protected_record = _run_web(
+        spec, os_name, seed, duration,
+        blocker=(filter_list if filter_list is not None else bundled_easylist()),
+        blocked_out=blocked_counter,
+    )
+    return BlockingOutcome(
+        service=spec.slug,
+        os_name=os_name,
+        baseline=analyze_session(baseline_record, spec),
+        protected=analyze_session(protected_record, spec),
+        connections_blocked=blocked_counter[0] if blocked_counter else 0,
+    )
+
+
+def _run_web(spec, os_name, seed, duration, blocker, blocked_out=None):
+    world = build_world([spec])
+    runner = ExperimentRunner(world, seed=seed)
+    if blocker is None:
+        return runner.run_session(spec, os_name, WEB, duration=duration)
+
+    transports = []
+
+    def wrapper(transport):
+        wrapped = TrackerBlockingTransport(transport, spec.www_host, filter_list=blocker)
+        transports.append(wrapped)
+        return wrapped
+
+    def install_blocker(phone):
+        phone.transport_wrapper = wrapper
+
+    record = runner.run_session(
+        spec, os_name, WEB, duration=duration, phone_setup=install_blocker
+    )
+    if blocked_out is not None:
+        blocked_out.append(sum(t.blocked for t in transports))
+    return record
+
+
+def summarize_outcomes(outcomes: list) -> dict:
+    """Aggregate blocking effectiveness over several services."""
+    if not outcomes:
+        raise ValueError("no outcomes to summarize")
+    total_baseline_leaks = sum(len(o.baseline.leaks) for o in outcomes)
+    total_protected_leaks = sum(len(o.protected.leaks) for o in outcomes)
+    residual_types: set = set()
+    residual_parties: set = set()
+    for outcome in outcomes:
+        residual_types |= outcome.residual_leak_types
+        residual_parties |= outcome.residual_third_parties
+    return {
+        "services": len(outcomes),
+        "leaks_before": total_baseline_leaks,
+        "leaks_after": total_protected_leaks,
+        "reduction": 1.0 - (total_protected_leaks / total_baseline_leaks)
+        if total_baseline_leaks
+        else 0.0,
+        "residual_types": residual_types,
+        "residual_third_parties": residual_parties,
+    }

@@ -1,0 +1,107 @@
+"""The PII-leak policy (§3.2 "Defining a PII Leak").
+
+A transmitted piece of PII is a *leak* when it reduces the user's
+privacy, which the paper operationalizes as:
+
+1. transmitted unencrypted (eavesdroppers can read it), or
+2. sent to a third party, encrypted or not (profiling), or
+3. sent to the first party over HTTPS but *not* required for login —
+   i.e. anything except username, password, and e-mail address.
+   A birthday to the first party over HTTPS is still a leak.
+
+Credentials sent to the first party — or to a single-sign-on provider
+(footnote 1) — over HTTPS are the only non-leaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..pii.detector import PiiObservation
+from ..pii.types import PiiType
+from ..trackerdb.categorize import Categorizer, FlowCategory, OS_SERVICE
+
+# Types exempt when sent first-party over HTTPS (login credentials; the
+# e-mail address is "often used as a username", §3.2).
+CREDENTIAL_TYPES = frozenset({PiiType.USERNAME, PiiType.PASSWORD, PiiType.EMAIL})
+
+PLAINTEXT = "plaintext"
+THIRD_PARTY = "third_party"
+FIRST_PARTY_NON_CREDENTIAL = "first_party_non_credential"
+
+
+@dataclass(frozen=True)
+class LeakRecord:
+    """One confirmed PII leak."""
+
+    observation: PiiObservation
+    category: FlowCategory
+    reason: str  # PLAINTEXT | THIRD_PARTY | FIRST_PARTY_NON_CREDENTIAL
+
+    @property
+    def pii_type(self) -> PiiType:
+        return self.observation.pii_type
+
+    @property
+    def domain(self) -> str:
+        return self.observation.domain
+
+    @property
+    def is_aa(self) -> bool:
+        return self.category.is_aa
+
+    @property
+    def plaintext(self) -> bool:
+        return self.observation.plaintext
+
+
+class LeakPolicy:
+    """Classifies detector observations into leaks / non-leaks."""
+
+    def __init__(self, categorizer: Categorizer) -> None:
+        self.categorizer = categorizer
+
+    def classify(self, observation: PiiObservation) -> Optional[LeakRecord]:
+        """Return a :class:`LeakRecord`, or None when not a leak."""
+        category = self.categorizer.categorize_host(observation.hostname, observation.url)
+        if category.label == OS_SERVICE:
+            return None
+        treated_first_party = category.is_first_party or self.categorizer.is_sso_host(
+            observation.hostname
+        )
+        if observation.plaintext:
+            reason = PLAINTEXT
+        elif not treated_first_party:
+            reason = THIRD_PARTY
+        elif observation.pii_type not in CREDENTIAL_TYPES:
+            reason = FIRST_PARTY_NON_CREDENTIAL
+        else:
+            return None
+        return LeakRecord(observation=observation, category=category, reason=reason)
+
+    def classify_all(self, observations: Iterable) -> list:
+        """Classify many observations, dropping the non-leaks."""
+        leaks = []
+        for observation in observations:
+            record = self.classify(observation)
+            if record is not None:
+                leaks.append(record)
+        return leaks
+
+
+def leak_types(leaks: Iterable) -> set:
+    return {record.pii_type for record in leaks}
+
+
+def leak_domains(leaks: Iterable) -> set:
+    """Registrable domains receiving at least one leak."""
+    return {record.domain for record in leaks}
+
+
+def jaccard(set_a: set, set_b: set) -> float:
+    """Jaccard index; two empty sets are identical (1.0) by convention."""
+    union = set_a | set_b
+    if not union:
+        return 1.0
+    return len(set_a & set_b) / len(union)

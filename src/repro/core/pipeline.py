@@ -1,0 +1,216 @@
+"""End-to-end study pipeline: collect → detect → classify → aggregate.
+
+:func:`run_study` is the library's front door.  It builds the world,
+runs the measurement campaign, trains the ReCon classifier on a held-out
+slice of the captured traffic (labels come from ground-truth matching,
+as in the controlled-experiment workflow), then produces one
+:class:`SessionAnalysis` per captured cell and one
+:class:`ServiceResult` per service — the structures every table, figure,
+and recommendation is computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..experiment.dataset import APP, WEB, Dataset, SessionRecord
+from ..experiment.filtering import filter_background
+from ..experiment.runner import ExperimentRunner
+from ..pii.detector import PiiDetector
+from ..pii.matcher import GroundTruthMatcher
+from ..pii.recon import ReconClassifier, train_from_traces
+from ..services.service import ServiceSpec
+from ..services.world import World, build_world
+from ..trackerdb.categorize import Categorizer, THIRD_PARTY_AA
+from .leaks import LeakPolicy, leak_domains, leak_types
+
+
+@dataclass
+class SessionAnalysis:
+    """Everything the evaluation needs from one session."""
+
+    service: str
+    os_name: str
+    medium: str
+    flows_total: int = 0
+    aa_domains: set = field(default_factory=set)
+    aa_flows: int = 0
+    aa_bytes: int = 0
+    third_party_domains: set = field(default_factory=set)
+    leaks: list = field(default_factory=list)
+    recon_false_positives: int = 0
+
+    @property
+    def leak_types(self) -> set:
+        return leak_types(self.leaks)
+
+    @property
+    def leak_domains(self) -> set:
+        return leak_domains(self.leaks)
+
+    @property
+    def leaked(self) -> bool:
+        return bool(self.leaks)
+
+    @property
+    def aa_megabytes(self) -> float:
+        return self.aa_bytes / 1_000_000.0
+
+
+@dataclass
+class ServiceResult:
+    """Per-service results across every captured cell."""
+
+    spec: ServiceSpec
+    sessions: dict = field(default_factory=dict)  # (os, medium) -> SessionAnalysis
+
+    def cell(self, os_name: str, medium: str) -> Optional[SessionAnalysis]:
+        return self.sessions.get((os_name, medium))
+
+    def media_leak_types(self, medium: str) -> set:
+        """Union of leaked types for a medium across tested OSes."""
+        out: set = set()
+        for (os_name, med), analysis in self.sessions.items():
+            if med == medium:
+                out |= analysis.leak_types
+        return out
+
+    def leaked_via(self, medium: str) -> bool:
+        return bool(self.media_leak_types(medium))
+
+
+@dataclass
+class StudyResult:
+    """The complete evaluated study."""
+
+    services: list = field(default_factory=list)  # list[ServiceResult]
+    dataset: Optional[Dataset] = None
+    recon: Optional[ReconClassifier] = None
+
+    def by_slug(self, slug: str) -> ServiceResult:
+        for result in self.services:
+            if result.spec.slug == slug:
+                return result
+        raise KeyError(f"unknown service {slug!r}")
+
+    def analyses(self) -> list:
+        out = []
+        for result in self.services:
+            out.extend(result.sessions.values())
+        return out
+
+
+def categorizer_for(spec: ServiceSpec) -> Categorizer:
+    from ..device.phone import OS_SERVICE_HOSTS
+
+    os_hosts = [h for hosts in OS_SERVICE_HOSTS.values() for h in hosts]
+    return Categorizer(
+        first_party_domains=spec.first_party_domains,
+        os_service_hosts=os_hosts,
+        sso_domains=spec.sso_domains,
+    )
+
+
+def analyze_session(
+    record: SessionRecord,
+    spec: ServiceSpec,
+    recon: Optional[ReconClassifier] = None,
+) -> SessionAnalysis:
+    """Run detection + leak policy + A&A accounting on one session."""
+    trace = filter_background(record.trace)
+    categorizer = categorizer_for(spec)
+    matcher = GroundTruthMatcher(record.ground_truth)
+    detector = PiiDetector(matcher, recon=recon)
+    report = detector.scan_trace(trace)
+    policy = LeakPolicy(categorizer)
+    leaks = policy.classify_all(report.observations)
+
+    analysis = SessionAnalysis(
+        service=record.service,
+        os_name=record.os_name,
+        medium=record.medium,
+        flows_total=len(trace),
+        leaks=leaks,
+        recon_false_positives=report.recon_false_positives,
+    )
+    for flow in trace:
+        category = categorizer.categorize_flow(flow)
+        if category.is_third_party:
+            analysis.third_party_domains.add(category.domain)
+        if category.label == THIRD_PARTY_AA:
+            analysis.aa_domains.add(category.domain)
+            analysis.aa_flows += 1
+            analysis.aa_bytes += flow.total_bytes
+    return analysis
+
+
+def train_recon_on_dataset(
+    dataset: Dataset,
+    every_nth_service: int = 4,
+    rng_seed: int = 7,
+) -> ReconClassifier:
+    """Train ReCon on a slice of the dataset's sessions.
+
+    Every ``every_nth_service``-th service's sessions (ordered by slug)
+    become training traffic; labels come from each session's own ground
+    truth, which is how the controlled experiments make ML training
+    possible without manual annotation.
+    """
+    slugs = dataset.services()
+    chosen = set(slugs[::every_nth_service])
+    examples = []
+    for record in dataset:
+        if record.service not in chosen:
+            continue
+        matcher = GroundTruthMatcher(record.ground_truth)
+        for flow in filter_background(record.trace):
+            if not flow.decrypted:
+                continue
+            for txn in flow.transactions:
+                labels = {m.pii_type for m in matcher.match_request(txn.request)}
+                examples.append(ReconClassifier.make_example(txn.request, labels))
+    import random
+
+    classifier = ReconClassifier(rng=random.Random(rng_seed))
+    return classifier.fit(examples)
+
+
+def analyze_dataset(
+    dataset: Dataset,
+    services: list,
+    recon: Optional[ReconClassifier] = None,
+    train_recon: bool = True,
+) -> StudyResult:
+    """Evaluate a collected dataset into a :class:`StudyResult`."""
+    if recon is None and train_recon:
+        recon = train_recon_on_dataset(dataset)
+    by_slug = {spec.slug: spec for spec in services}
+    results: dict = {}
+    for record in dataset:
+        spec = by_slug[record.service]
+        result = results.get(record.service)
+        if result is None:
+            result = ServiceResult(spec=spec)
+            results[record.service] = result
+        result.sessions[(record.os_name, record.medium)] = analyze_session(
+            record, spec, recon=recon
+        )
+    ordered = [results[spec.slug] for spec in services if spec.slug in results]
+    return StudyResult(services=ordered, dataset=dataset, recon=recon)
+
+
+def run_study(
+    services: Optional[list] = None,
+    seed: int = 2016,
+    duration: float = 240.0,
+    train_recon: bool = True,
+    world: Optional[World] = None,
+) -> StudyResult:
+    """Collect and evaluate the full study (the paper, end to end)."""
+    if world is None:
+        world = build_world(services)
+    specs = services if services is not None else world.services
+    runner = ExperimentRunner(world, seed=seed)
+    dataset = runner.run_study(specs, duration=duration)
+    return analyze_dataset(dataset, specs, train_recon=train_recon)

@@ -1,0 +1,134 @@
+"""Preference-weighted app-or-web recommendations.
+
+The paper's conclusion is that neither medium wins universally: the
+right choice "depends on user preferences and priorities for controlling
+access to their PII", and the authors shipped an interactive recommender
+(https://recon.meddle.mobi/appvsweb/).  This module is that recommender:
+given a study result and a user's :class:`PrivacyPreferences`, it scores
+each medium per service and suggests the less invasive one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..experiment.dataset import APP, WEB
+from ..pii.types import PiiType
+from .pipeline import ServiceResult, SessionAnalysis, StudyResult
+
+# Default severity of each identifier class (0..1); users override these.
+DEFAULT_WEIGHTS = {
+    PiiType.PASSWORD: 1.0,
+    PiiType.UNIQUE_ID: 0.7,
+    PiiType.LOCATION: 0.7,
+    PiiType.PHONE: 0.6,
+    PiiType.EMAIL: 0.5,
+    PiiType.BIRTHDAY: 0.5,
+    PiiType.NAME: 0.4,
+    PiiType.USERNAME: 0.4,
+    PiiType.GENDER: 0.3,
+    PiiType.DEVICE_INFO: 0.3,
+}
+
+
+@dataclass(frozen=True)
+class PrivacyPreferences:
+    """What the user cares about, on a 0..1 scale per identifier class.
+
+    ``tracker_aversion`` weighs raw exposure to A&A domains (some users
+    care about tracking surface even without a detected PII leak), and
+    ``plaintext_aversion`` adds extra weight when a leak travels
+    unencrypted.
+    """
+
+    weights: dict = field(default_factory=lambda: dict(DEFAULT_WEIGHTS))
+    tracker_aversion: float = 0.05
+    plaintext_aversion: float = 0.5
+
+    def weight(self, pii_type: PiiType) -> float:
+        return self.weights.get(pii_type, 0.5)
+
+    @classmethod
+    def uniform(cls, value: float = 0.5) -> "PrivacyPreferences":
+        return cls(weights={pii_type: value for pii_type in PiiType})
+
+    @classmethod
+    def only(cls, *types: PiiType) -> "PrivacyPreferences":
+        """Care about nothing except the given identifier classes."""
+        return cls(weights={t: (1.0 if t in types else 0.0) for t in PiiType})
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The verdict for one service on one OS."""
+
+    service: str
+    os_name: str
+    choice: str  # "app" | "web" | "either"
+    app_score: float
+    web_score: float
+
+    @property
+    def margin(self) -> float:
+        return abs(self.app_score - self.web_score)
+
+
+def score_session(analysis: SessionAnalysis, preferences: PrivacyPreferences) -> float:
+    """Privacy-invasiveness score for one cell; higher is worse."""
+    score = 0.0
+    for pii_type in analysis.leak_types:
+        score += preferences.weight(pii_type)
+    for record in analysis.leaks:
+        if record.plaintext:
+            score += preferences.plaintext_aversion * preferences.weight(record.pii_type)
+            break  # one plaintext penalty per type set, not per event
+    score += preferences.tracker_aversion * len(analysis.aa_domains)
+    return score
+
+
+class Recommender:
+    """Scores a study and answers "should you use the app for that?"."""
+
+    def __init__(self, study: StudyResult, preferences: Optional[PrivacyPreferences] = None) -> None:
+        self.study = study
+        self.preferences = preferences if preferences is not None else PrivacyPreferences()
+
+    def recommend_service(self, result: ServiceResult, os_name: str) -> Optional[Recommendation]:
+        app = result.cell(os_name, APP)
+        web = result.cell(os_name, WEB)
+        if app is None or web is None:
+            return None
+        app_score = score_session(app, self.preferences)
+        web_score = score_session(web, self.preferences)
+        if abs(app_score - web_score) < 1e-9:
+            choice = "either"
+        elif app_score < web_score:
+            choice = APP
+        else:
+            choice = WEB
+        return Recommendation(
+            service=result.spec.slug,
+            os_name=os_name,
+            choice=choice,
+            app_score=app_score,
+            web_score=web_score,
+        )
+
+    def recommend(self, slug: str, os_name: str) -> Optional[Recommendation]:
+        return self.recommend_service(self.study.by_slug(slug), os_name)
+
+    def recommend_all(self, os_name: str) -> list:
+        out = []
+        for result in self.study.services:
+            recommendation = self.recommend_service(result, os_name)
+            if recommendation is not None:
+                out.append(recommendation)
+        return out
+
+    def summary(self, os_name: str) -> dict:
+        """How often each medium wins under these preferences."""
+        counts = {"app": 0, "web": 0, "either": 0}
+        for recommendation in self.recommend_all(os_name):
+            counts[recommendation.choice] += 1
+        return counts

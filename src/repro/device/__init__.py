@@ -1,0 +1,39 @@
+"""Simulated handset substrate: identifiers, personas, phones, browsers."""
+
+from .browser import Browser, BrowserSession, PageLoad, extract_resources
+from .identifiers import (
+    generate_ad_id,
+    generate_android_id,
+    generate_imei,
+    generate_serial,
+    generate_wifi_mac,
+    is_valid_ad_id,
+    is_valid_imei,
+    luhn_check_digit,
+)
+from .persona import Persona, generate_persona
+from .phone import ANDROID, IOS, OS_SERVICE_HOSTS, DeviceError, Permission, Phone, PhoneSpec
+
+__all__ = [
+    "ANDROID",
+    "Browser",
+    "BrowserSession",
+    "DeviceError",
+    "IOS",
+    "OS_SERVICE_HOSTS",
+    "PageLoad",
+    "Permission",
+    "Persona",
+    "Phone",
+    "PhoneSpec",
+    "extract_resources",
+    "generate_ad_id",
+    "generate_android_id",
+    "generate_imei",
+    "generate_persona",
+    "generate_serial",
+    "generate_wifi_mac",
+    "is_valid_ad_id",
+    "is_valid_imei",
+    "luhn_check_digit",
+]

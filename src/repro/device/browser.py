@@ -1,0 +1,179 @@
+"""Mobile browser models: Chrome on Android, Safari on iOS.
+
+The browser is the study's web medium.  It owns a persistent cookie
+store, supports private-mode contexts (fresh, discarded cookie store —
+the methodology browses in private mode), and implements a miniature
+page-load engine: fetch the document, extract subresource references
+from the HTML (``script``/``img``/``iframe``/``link`` tags), fetch them
+all, and recurse into iframes.  Tracker tags, ad slots, and RTB redirect
+chains in the simulated pages all execute through this engine, which is
+what makes web sessions so much chattier than app sessions (Figure 1b).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..http.cookies import CookieJar
+from ..http.message import Request
+from ..http.session import ClientSession, FetchResult
+from ..http.transport import NetworkError, Transport
+from ..http.url import Url, parse_url
+
+_TAG_RE = re.compile(
+    r"<(script|img|iframe|link)\b[^>]*?\s(?:src|href)\s*=\s*[\"']([^\"']+)[\"']",
+    re.IGNORECASE,
+)
+
+MAX_IFRAME_DEPTH = 3
+
+
+@dataclass
+class PageLoad:
+    """The result of loading one page and its resource tree."""
+
+    url: Url
+    document: FetchResult
+    resources: list = field(default_factory=list)  # list[FetchResult]
+    subpages: list = field(default_factory=list)  # list[PageLoad] (iframes)
+    failures: list = field(default_factory=list)  # list[tuple[str, str]]
+
+    @property
+    def total_requests(self) -> int:
+        count = self.document.requests_sent
+        count += sum(r.requests_sent for r in self.resources)
+        count += sum(p.total_requests for p in self.subpages)
+        return count
+
+
+def extract_resources(html: str) -> list:
+    """Pull subresource references out of an HTML document.
+
+    Returns (tag, url) pairs in document order.  ``link`` tags are kept
+    only when they look like stylesheets or preconnect hints with an
+    href — close enough to what a real preload scanner fetches.
+    """
+    out = []
+    for match in _TAG_RE.finditer(html):
+        tag = match.group(1).lower()
+        reference = match.group(2).strip()
+        if not reference or reference.startswith(("data:", "javascript:", "#", "about:")):
+            continue
+        out.append((tag, reference))
+    return out
+
+
+class Browser:
+    """A platform browser bound to one phone."""
+
+    def __init__(self, phone, name: Optional[str] = None) -> None:
+        self.phone = phone
+        self.name = name or ("chrome" if phone.os_name == "android" else "safari")
+        self.cookie_jar = CookieJar()
+        self.geolocation_allowed: dict = {}  # origin -> bool
+
+    def user_agent(self) -> str:
+        return self.phone.user_agent("web")
+
+    def clear_state(self) -> None:
+        """Clear cookies (settings > clear browsing data)."""
+        self.cookie_jar.clear()
+
+    def allow_geolocation(self, origin: str, allow: bool = True) -> None:
+        """Record the user's answer to a geolocation prompt for ``origin``."""
+        self.geolocation_allowed[origin] = allow
+
+    def geolocation(self, origin: str) -> Optional[tuple]:
+        """Return a GPS fix if the origin was granted geolocation.
+
+        Mobile browsers expose GPS — a capability the paper highlights as
+        distinguishing them from desktop browsing (§2.1).
+        """
+        if not self.geolocation_allowed.get(origin, False):
+            return None
+        return self.phone.read_gps(app_slug=None)
+
+    def session(
+        self,
+        private: bool = False,
+        now_fn: Optional[Callable] = None,
+        tags: Optional[set] = None,
+    ) -> "BrowserSession":
+        """Open a browsing session, optionally in private mode."""
+        jar = CookieJar() if private else self.cookie_jar
+        client = ClientSession(
+            self.phone.transport(tags=tags),
+            user_agent=self.user_agent(),
+            cookie_jar=jar,
+            enforce_pins=False,  # browsers do not ship app pin sets
+            requests_per_connection=3,
+            now_fn=now_fn,
+        )
+        return BrowserSession(self, client, private=private)
+
+
+class BrowserSession:
+    """One (possibly private) browsing context."""
+
+    def __init__(self, browser: Browser, client: ClientSession, private: bool) -> None:
+        self.browser = browser
+        self.client = client
+        self.private = private
+        self.pages_loaded = 0
+        # Session HTTP cache: a resource URL already fetched in this
+        # session is not re-fetched (tag scripts are shared across
+        # pages; ad/beacon URLs differ per page and are never cached).
+        self._cache: set = set()
+        self.cache_hits = 0
+
+    def __enter__(self) -> "BrowserSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.client.close()
+        if self.private:
+            self.client.cookie_jar.clear()
+
+    def load_page(self, url: str, _depth: int = 0) -> PageLoad:
+        """Fetch a document and its full resource tree."""
+        document = self.client.get(url)
+        page = PageLoad(url=parse_url(url), document=document)
+        self.pages_loaded += 1
+        content_type = document.response.content_type
+        if "html" not in content_type.lower():
+            return page
+        html = document.response.body.decode("utf-8", errors="replace")
+        base = document.url
+        for tag, reference in extract_resources(html):
+            try:
+                target = str(base.join(reference))
+            except Exception:
+                page.failures.append((reference, "unresolvable"))
+                continue
+            try:
+                if tag == "iframe" and _depth < MAX_IFRAME_DEPTH:
+                    page.subpages.append(self.load_page(target, _depth=_depth + 1))
+                else:
+                    if target in self._cache:
+                        self.cache_hits += 1
+                        continue
+                    self._cache.add(target)
+                    page.resources.append(self.client.get(target))
+            except NetworkError as exc:
+                page.failures.append((target, str(exc)))
+        return page
+
+    def submit_form(self, url: str, fields: list) -> FetchResult:
+        """POST a form the way a browser would (urlencoded, redirects)."""
+        from ..http.body import encode_form
+
+        return self.client.post(url, body=encode_form(fields))
+
+    def send_beacon(self, url: str) -> FetchResult:
+        """Fire a JS-style beacon GET (used by simulated tag scripts)."""
+        return self.client.get(url)

@@ -1,0 +1,85 @@
+"""Hardware and advertising identifier generation and validation.
+
+Each simulated handset carries the identifier set its real counterpart
+exposes: IMEI (with a valid Luhn check digit), Wi-Fi MAC, and the
+OS-specific identifiers — Android ID and AAID on Android, IDFA and IDFV
+on iOS.  These are the "unique identifiers" the paper finds leaking only
+from apps.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..net.inet import random_mac
+
+# Type Allocation Codes of the handset models used in the study
+# (Nexus 4, Nexus 5, iPhone 5); only used to make IMEIs look plausible.
+_TAC_BY_MODEL = {
+    "Nexus 4": "35391805",
+    "Nexus 5": "35824005",
+    "iPhone 5": "01332700",
+}
+
+
+def luhn_check_digit(digits: str) -> int:
+    """Compute the Luhn check digit for a string of decimal digits."""
+    if not digits.isdigit():
+        raise ValueError(f"Luhn input must be decimal digits: {digits!r}")
+    total = 0
+    # Double every second digit counting from the right of digits+check.
+    for index, char in enumerate(reversed(digits)):
+        value = int(char)
+        if index % 2 == 0:
+            value *= 2
+            if value > 9:
+                value -= 9
+        total += value
+    return (10 - total % 10) % 10
+
+
+def is_valid_imei(imei: str) -> bool:
+    """Validate a 15-digit IMEI's length and Luhn check digit."""
+    if len(imei) != 15 or not imei.isdigit():
+        return False
+    return luhn_check_digit(imei[:14]) == int(imei[14])
+
+
+def generate_imei(rng: random.Random, model: str = "Nexus 5") -> str:
+    """Generate a Luhn-valid IMEI with the model's TAC prefix."""
+    tac = _TAC_BY_MODEL.get(model, "35824005")
+    serial = "".join(str(rng.randrange(10)) for _ in range(14 - len(tac)))
+    body = tac + serial
+    return body + str(luhn_check_digit(body))
+
+
+def generate_android_id(rng: random.Random) -> str:
+    """Generate a 16-hex-digit Android ID (Settings.Secure.ANDROID_ID)."""
+    return f"{rng.getrandbits(64):016x}"
+
+
+def generate_ad_id(rng: random.Random) -> str:
+    """Generate an advertising identifier (AAID / IDFA) in UUID form."""
+    raw = rng.getrandbits(128)
+    hexed = f"{raw:032x}"
+    return "-".join((hexed[:8], hexed[8:12], hexed[12:16], hexed[16:20], hexed[20:]))
+
+
+def is_valid_ad_id(value: str) -> bool:
+    """Validate the 8-4-4-4-12 hex UUID shape of an advertising ID."""
+    parts = value.split("-")
+    if [len(p) for p in parts] != [8, 4, 4, 4, 12]:
+        return False
+    return all(all(c in "0123456789abcdefABCDEF" for c in part) for part in parts)
+
+
+def generate_serial(rng: random.Random) -> str:
+    """Generate a hardware serial number (8 alphanumeric chars)."""
+    alphabet = "0123456789ABCDEFGHJKLMNPQRSTUVWXYZ"
+    return "".join(rng.choice(alphabet) for _ in range(8))
+
+
+def generate_wifi_mac(rng: random.Random, os_name: str) -> str:
+    """Generate a Wi-Fi MAC with a vendor prefix matching the platform."""
+    oui = (0x60, 0xFA, 0xCD) if os_name == "ios" else (0xAC, 0x22, 0x0B)
+    return random_mac(rng, oui=oui)

@@ -1,0 +1,141 @@
+"""Test personas: the ground-truth PII planted on a handset.
+
+The paper's experiments are controlled — the testers know every piece of
+PII present on the device, which is what makes reliable detection
+possible (§3.2 "Identifying PII").  A :class:`Persona` is that ground
+truth: account credentials created fresh per service, profile attributes
+entered at sign-up, and the device's physical location.
+
+:meth:`Persona.ground_truth` exports the persona as a mapping from
+:class:`~repro.pii.types.PiiType` to the concrete strings the detector
+should search for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..pii.types import PiiType
+
+_FIRST_NAMES = [
+    "Alice", "Brian", "Carla", "Derek", "Elena", "Felix", "Grace", "Hassan",
+    "Irene", "Jamal", "Kara", "Liam", "Mona", "Nikhil", "Olga", "Pedro",
+    "Quinn", "Rosa", "Sam", "Tara",
+]
+_LAST_NAMES = [
+    "Anderson", "Brooks", "Castillo", "Dawson", "Ellis", "Ferreira", "Gupta",
+    "Hoffman", "Ivanov", "Jensen", "Kowalski", "Lindqvist", "Moreau", "Nakamura",
+    "Okafor", "Petrov", "Quigley", "Rossi", "Svensson", "Tanaka",
+]
+_GENDERS = ["female", "male"]
+_MAIL_DOMAIN = "testmail.example"
+
+# Boston-area coordinates: the study was conducted in the Boston area
+# (§3.3), and we keep that detail for realism in location payloads.
+_BOSTON_LAT = 42.3601
+_BOSTON_LON = -71.0589
+_BOSTON_ZIPS = ["02115", "02116", "02118", "02120", "02134", "02139", "02155"]
+
+
+@dataclass
+class Persona:
+    """One tester identity with all ground-truth PII."""
+
+    first_name: str
+    last_name: str
+    gender: str
+    birthday: str  # YYYY-MM-DD
+    zip_code: str
+    phone_number: str  # digits only, US 10-digit
+    latitude: float
+    longitude: float
+    email: str = ""
+    username: str = ""
+    password: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.email:
+            self.email = f"{self.username or self.first_name.lower()}@{_MAIL_DOMAIN}"
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.first_name} {self.last_name}"
+
+    def fresh_account(self, service_slug: str, rng: random.Random) -> "Persona":
+        """Derive a persona with new credentials for one service.
+
+        The methodology creates a previously-unused email address and
+        account per service requiring login (§3.2); profile attributes
+        stay the same so cross-service comparisons remain meaningful.
+        """
+        # Handles deliberately avoid the tester's name (so a leaked
+        # username/email is not also a spurious name leak) and the email
+        # local part differs from the username (so an email leak is not
+        # also a spurious username leak).
+        suffix = f"{rng.randrange(10_000):04d}"
+        username = f"tester{suffix}.{service_slug}"
+        mailbox = f"signup.{suffix}.{service_slug}"
+        return Persona(
+            first_name=self.first_name,
+            last_name=self.last_name,
+            gender=self.gender,
+            birthday=self.birthday,
+            zip_code=self.zip_code,
+            phone_number=self.phone_number,
+            latitude=self.latitude,
+            longitude=self.longitude,
+            email=f"{mailbox}@{_MAIL_DOMAIN}",
+            username=username,
+            password=_random_password(rng),
+        )
+
+    def ground_truth(self) -> dict:
+        """Map each :class:`PiiType` to the values to search traffic for.
+
+        Device-bound identifiers (UID, device info) come from the phone,
+        not the persona, so they are absent here; see
+        :meth:`repro.device.phone.Phone.ground_truth`.
+        """
+        return {
+            PiiType.BIRTHDAY: [self.birthday],
+            PiiType.EMAIL: [self.email],
+            PiiType.GENDER: [self.gender],
+            PiiType.LOCATION: [
+                f"{self.latitude:.6f}",
+                f"{self.longitude:.6f}",
+                self.zip_code,
+            ],
+            PiiType.NAME: [self.full_name, self.first_name, self.last_name],
+            PiiType.PHONE: [self.phone_number],
+            PiiType.USERNAME: [self.username] if self.username else [],
+            PiiType.PASSWORD: [self.password] if self.password else [],
+        }
+
+
+def _random_password(rng: random.Random) -> str:
+    alphabet = "abcdefghijkmnopqrstuvwxyzABCDEFGHJKLMNPQRSTUVWXYZ23456789"
+    return "pw" + "".join(rng.choice(alphabet) for _ in range(12))
+
+
+def generate_persona(rng: random.Random) -> Persona:
+    """Generate a deterministic persona from ``rng``."""
+    first = rng.choice(_FIRST_NAMES)
+    last = rng.choice(_LAST_NAMES)
+    year = rng.randrange(1975, 1998)
+    month = rng.randrange(1, 13)
+    day = rng.randrange(1, 29)
+    phone = "617" + "".join(str(rng.randrange(10)) for _ in range(7))
+    return Persona(
+        first_name=first,
+        last_name=last,
+        gender=rng.choice(_GENDERS),
+        birthday=f"{year:04d}-{month:02d}-{day:02d}",
+        zip_code=rng.choice(_BOSTON_ZIPS),
+        phone_number=phone,
+        latitude=_BOSTON_LAT + rng.uniform(-0.05, 0.05),
+        longitude=_BOSTON_LON + rng.uniform(-0.05, 0.05),
+        username=f"tester{rng.randrange(1000, 9999)}",
+        email=f"signup{rng.randrange(1000, 9999)}@{_MAIL_DOMAIN}",
+        password=_random_password(rng),
+    )

@@ -1,0 +1,292 @@
+"""Simulated handsets.
+
+A :class:`Phone` models the four test devices from §3.2 — Nexus 4 and
+Nexus 5 on stock Android 4.4, and two iPhone 5's on iOS 9.3.1 — at the
+level the study needs: persistent and resettable identifiers, a CA trust
+store, app install/uninstall, a runtime permission model, a GPS sensor,
+VPN attachment to the interception proxy, and the OS background services
+whose traffic the methodology filters out.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..http.transport import DirectTransport, Network, Transport
+from ..pii.types import PiiType
+from ..tls.certs import CaStore
+from .identifiers import (
+    generate_ad_id,
+    generate_android_id,
+    generate_imei,
+    generate_serial,
+    generate_wifi_mac,
+)
+from .persona import Persona
+
+ANDROID = "android"
+IOS = "ios"
+
+# Hostnames of OS background services (the ones §3.2 filters by domain).
+OS_SERVICE_HOSTS = {
+    ANDROID: (
+        "play.googleapis.com",
+        "android.clients.google.com",
+        "mtalk.google.com",
+        "connectivitycheck.gstatic.com",
+    ),
+    IOS: (
+        "init.itunes.apple.com",
+        "gsp-ssl.ls.apple.com",
+        "push.apple.com",
+        "configuration.apple.com",
+    ),
+}
+
+_USER_AGENTS = {
+    (ANDROID, "app"): "Dalvik/1.6.0 (Linux; U; Android 4.4.4; {model} Build/KTU84P)",
+    (ANDROID, "web"): (
+        "Mozilla/5.0 (Linux; Android 4.4.4; {model} Build/KTU84P) AppleWebKit/537.36 "
+        "(KHTML, like Gecko) Chrome/49.0.2623.105 Mobile Safari/537.36"
+    ),
+    (IOS, "app"): "{app}/{version} CFNetwork/758.3.15 Darwin/15.4.0",
+    (IOS, "web"): (
+        "Mozilla/5.0 (iPhone; CPU iPhone OS 9_3_1 like Mac OS X) AppleWebKit/601.1.46 "
+        "(KHTML, like Gecko) Version/9.0 Mobile/13E238 Safari/601.1"
+    ),
+}
+
+
+class DeviceError(Exception):
+    """Raised on invalid device operations (e.g. GPS without permission)."""
+
+
+class Permission:
+    """The runtime permissions relevant to PII access."""
+
+    LOCATION = "location"
+    PHONE_STATE = "phone_state"  # IMEI / device identifiers
+    CONTACTS = "contacts"
+    STORAGE = "storage"
+
+    ALL = (LOCATION, PHONE_STATE, CONTACTS, STORAGE)
+
+
+@dataclass
+class PhoneSpec:
+    """Static description of a handset model."""
+
+    model: str
+    os_name: str
+    os_version: str
+
+    @classmethod
+    def nexus4(cls) -> "PhoneSpec":
+        return cls(model="Nexus 4", os_name=ANDROID, os_version="4.4.4")
+
+    @classmethod
+    def nexus5(cls) -> "PhoneSpec":
+        return cls(model="Nexus 5", os_name=ANDROID, os_version="4.4.4")
+
+    @classmethod
+    def iphone5(cls) -> "PhoneSpec":
+        return cls(model="iPhone 5", os_name=IOS, os_version="9.3.1")
+
+
+class Phone:
+    """One simulated handset attached to a simulated network."""
+
+    def __init__(self, spec: PhoneSpec, network: Network, rng: random.Random) -> None:
+        self.spec = spec
+        self.network = network
+        self._rng = rng
+        # Hardware identifiers survive factory reset.
+        self.imei = generate_imei(rng, spec.model)
+        self.wifi_mac = generate_wifi_mac(rng, spec.os_name)
+        self.serial = generate_serial(rng)
+        self.build_tag = f"{spec.os_version}-{rng.getrandbits(16):04x}"
+        # Resettable state, populated by factory_reset().
+        self.ad_id = ""
+        self.android_id = ""
+        self.installed_apps: set = set()
+        self.permissions: dict = {}
+        self.persona: Optional[Persona] = None
+        self.ca_store = CaStore()
+        self._vpn_proxy = None
+        self._vpn_client_ip = ""
+        self.background_sync = True
+        self.factory_reset()
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def os_name(self) -> str:
+        return self.spec.os_name
+
+    @property
+    def device_name(self) -> str:
+        """OS-reported device descriptor (model + build, no user name)."""
+        return f"{self.spec.model}/{self.build_tag}"
+
+    def user_agent(self, medium: str, app_name: str = "", app_version: str = "1.0") -> str:
+        template = _USER_AGENTS[(self.os_name, medium)]
+        return template.format(model=self.spec.model, app=app_name or "App", version=app_version)
+
+    def ground_truth(self) -> dict:
+        """Device-bound PII values, keyed by :class:`PiiType`.
+
+        Combined with :meth:`Persona.ground_truth` this is the complete
+        searchable PII set for an experiment on this phone.
+        """
+        unique_ids = [self.imei, self.wifi_mac, self.ad_id, self.serial]
+        if self.os_name == ANDROID:
+            unique_ids.append(self.android_id)
+        # Only the unique device name counts as searchable device info;
+        # the bare model string appears in every User-Agent header and
+        # would swamp detection with meaningless hits.
+        truth = {
+            PiiType.UNIQUE_ID: [v for v in unique_ids if v],
+            PiiType.DEVICE_INFO: [self.device_name],
+        }
+        if self.persona is not None:
+            for pii_type, values in self.persona.ground_truth().items():
+                truth[pii_type] = values
+        return truth
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def factory_reset(self) -> None:
+        """Wipe resettable identifiers, apps, permissions, and trust.
+
+        IMEI, MAC, and serial are burned into hardware and survive; the
+        advertising ID and Android ID are regenerated, matching real
+        factory-reset behaviour.
+        """
+        self.ad_id = generate_ad_id(self._rng)
+        self.android_id = generate_android_id(self._rng) if self.os_name == ANDROID else ""
+        self.installed_apps = set()
+        self.permissions = {}
+        self.persona = None
+        self.ca_store = CaStore()
+        self._vpn_proxy = None
+        self._vpn_client_ip = ""
+        self.background_sync = True
+
+    def sign_in(self, persona: Persona) -> None:
+        """Provision the device account (the tester's persona)."""
+        self.persona = persona
+
+    # -- apps and permissions ----------------------------------------------------
+
+    def install_app(self, app_slug: str) -> None:
+        self.installed_apps.add(app_slug)
+
+    def uninstall_app(self, app_slug: str) -> None:
+        self.installed_apps.discard(app_slug)
+        self.permissions.pop(app_slug, None)
+
+    def is_installed(self, app_slug: str) -> bool:
+        return app_slug in self.installed_apps
+
+    def request_permission(self, app_slug: str, permission: str, grant: bool = True) -> bool:
+        """An app asks for a runtime permission; the tester decides.
+
+        The methodology approves every prompt (§3.2), so ``grant``
+        defaults to True, but tests can deny to model cautious users.
+        """
+        if permission not in Permission.ALL:
+            raise DeviceError(f"unknown permission {permission!r}")
+        if not self.is_installed(app_slug):
+            raise DeviceError(f"app {app_slug!r} is not installed")
+        if grant:
+            self.permissions.setdefault(app_slug, set()).add(permission)
+        return grant
+
+    def has_permission(self, app_slug: str, permission: str) -> bool:
+        return permission in self.permissions.get(app_slug, set())
+
+    # -- sensors --------------------------------------------------------------
+
+    def read_gps(self, app_slug: Optional[str] = None) -> tuple:
+        """Return (latitude, longitude); enforces the permission model.
+
+        ``app_slug`` of None means the platform browser, which obtains
+        geolocation through its own user prompt (always approved, like
+        every prompt in the methodology).
+        """
+        if self.persona is None:
+            raise DeviceError("no persona signed in; GPS fix unavailable")
+        if app_slug is not None and not self.has_permission(app_slug, Permission.LOCATION):
+            raise DeviceError(f"app {app_slug!r} lacks the location permission")
+        return (self.persona.latitude, self.persona.longitude)
+
+    def read_imei(self, app_slug: str) -> str:
+        """Return the IMEI; requires the phone-state permission."""
+        if not self.has_permission(app_slug, Permission.PHONE_STATE):
+            raise DeviceError(f"app {app_slug!r} lacks the phone-state permission")
+        return self.imei
+
+    # -- network attachment ------------------------------------------------------
+
+    def connect_vpn(self, proxy, client_ip: str = "10.11.0.2") -> None:
+        """Tunnel the device through the interception proxy.
+
+        Installs the proxy's CA into the device trust store — the manual
+        provisioning step Meddle requires — so MITMed TLS validates.
+        """
+        self.ca_store.trust(proxy.ca_issuer)
+        self._vpn_proxy = proxy
+        self._vpn_client_ip = client_ip
+
+    def disconnect_vpn(self) -> None:
+        self._vpn_proxy = None
+        self._vpn_client_ip = ""
+
+    @property
+    def vpn_connected(self) -> bool:
+        return self._vpn_proxy is not None
+
+    # Optional transport decorator, e.g. a tracker-blocking extension
+    # (see repro.core.countermeasures).  Applied to foreground traffic
+    # only; background/OS flows bypass it like they bypass extensions.
+    transport_wrapper = None
+
+    def transport(self, tags: Optional[set] = None) -> Transport:
+        """The transport current network attachment provides."""
+        if self._vpn_proxy is not None:
+            transport = self._vpn_proxy.transport_for(
+                self.ca_store, client_ip=self._vpn_client_ip, tags=tags
+            )
+        else:
+            transport = DirectTransport(self.network)
+        if self.transport_wrapper is not None and not tags:
+            return self.transport_wrapper(transport)
+        return transport
+
+    # -- background services -------------------------------------------------------
+
+    def os_service_hosts(self) -> tuple:
+        return OS_SERVICE_HOSTS[self.os_name]
+
+    def background_tick(self, session_factory) -> int:
+        """Emit one round of OS background traffic; returns request count.
+
+        With background sync disabled (the methodology's setting) only a
+        single connectivity keepalive is sent; with it enabled, every OS
+        service checks in.  ``session_factory`` builds a client session
+        from a transport, letting the runner tag these flows.
+        """
+        hosts = self.os_service_hosts()
+        if not self.background_sync:
+            hosts = hosts[:1]
+        sent = 0
+        session = session_factory(self.transport(tags={"background", "os-service"}))
+        for host in hosts:
+            if not self.network.knows(host):
+                continue
+            session.get(f"https://{host}/checkin")
+            sent += 1
+        session.close()
+        return sent

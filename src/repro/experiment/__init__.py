@@ -1,0 +1,37 @@
+"""Methodology harness: scripts, runner, filtering, dataset."""
+
+from .dataset import APP, MEDIA, OSES, WEB, Dataset, SessionRecord
+from .filtering import background_share, filter_background, is_background_flow
+from .runner import ExperimentRunner, RunnerError
+from .scripts import (
+    BROWSE,
+    DEFAULT_DURATION,
+    LOGIN,
+    OPEN,
+    SEARCH,
+    VIEW,
+    InteractionScript,
+    standard_script,
+)
+
+__all__ = [
+    "APP",
+    "BROWSE",
+    "DEFAULT_DURATION",
+    "Dataset",
+    "ExperimentRunner",
+    "InteractionScript",
+    "LOGIN",
+    "MEDIA",
+    "OPEN",
+    "OSES",
+    "RunnerError",
+    "SEARCH",
+    "SessionRecord",
+    "VIEW",
+    "WEB",
+    "background_share",
+    "filter_background",
+    "is_background_flow",
+    "standard_script",
+]

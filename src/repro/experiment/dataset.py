@@ -1,0 +1,126 @@
+"""Collected-dataset container.
+
+A :class:`Dataset` holds every captured session of a study run together
+with the per-session ground truth needed for detection, and provides the
+indexing the analysis stage uses (by service, OS, and medium).  Datasets
+serialize to a directory of JSONL traces plus a manifest, so studies can
+be collected once and analyzed many times.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from ..net.trace import Trace
+from ..pii.types import PiiType
+
+ANDROID = "android"
+IOS = "ios"
+APP = "app"
+WEB = "web"
+
+OSES = (ANDROID, IOS)
+MEDIA = (APP, WEB)
+
+
+@dataclass
+class SessionRecord:
+    """One captured experiment session plus its ground truth."""
+
+    service: str  # slug
+    os_name: str
+    medium: str
+    trace: Trace
+    ground_truth: dict = field(default_factory=dict)  # PiiType -> [values]
+    duration: float = 240.0
+
+    @property
+    def key(self) -> tuple:
+        return (self.service, self.os_name, self.medium)
+
+    def ground_truth_json(self) -> dict:
+        return {pii.value: values for pii, values in self.ground_truth.items()}
+
+    @staticmethod
+    def ground_truth_from_json(data: dict) -> dict:
+        return {PiiType(code): values for code, values in data.items()}
+
+
+class Dataset:
+    """All sessions of one study run."""
+
+    def __init__(self) -> None:
+        self._sessions: dict = {}
+
+    def add(self, record: SessionRecord) -> None:
+        if record.key in self._sessions:
+            raise ValueError(f"duplicate session {record.key}")
+        self._sessions[record.key] = record
+
+    def get(self, service: str, os_name: str, medium: str) -> Optional[SessionRecord]:
+        return self._sessions.get((service, os_name, medium))
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._sessions.values())
+
+    def services(self) -> list:
+        return sorted({key[0] for key in self._sessions})
+
+    def sessions_for(self, service: str) -> list:
+        return [r for r in self._sessions.values() if r.service == service]
+
+    def total_flows(self) -> int:
+        return sum(len(record.trace) for record in self)
+
+    def total_bytes(self) -> int:
+        return sum(record.trace.total_bytes for record in self)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, directory: Union[str, Path]) -> None:
+        """Write traces + manifest under ``directory``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = []
+        for key in sorted(self._sessions):
+            record = self._sessions[key]
+            filename = f"{record.service}_{record.os_name}_{record.medium}.jsonl"
+            record.trace.dump(directory / filename)
+            manifest.append(
+                {
+                    "service": record.service,
+                    "os": record.os_name,
+                    "medium": record.medium,
+                    "trace": filename,
+                    "duration": record.duration,
+                    "ground_truth": record.ground_truth_json(),
+                }
+            )
+        with (directory / "manifest.json").open("w", encoding="utf-8") as handle:
+            json.dump({"sessions": manifest}, handle, indent=1)
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "Dataset":
+        directory = Path(directory)
+        with (directory / "manifest.json").open("r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        dataset = cls()
+        for entry in manifest["sessions"]:
+            trace = Trace.load(directory / entry["trace"])
+            dataset.add(
+                SessionRecord(
+                    service=entry["service"],
+                    os_name=entry["os"],
+                    medium=entry["medium"],
+                    trace=trace,
+                    ground_truth=SessionRecord.ground_truth_from_json(entry["ground_truth"]),
+                    duration=entry.get("duration", 240.0),
+                )
+            )
+        return dataset

@@ -1,0 +1,46 @@
+"""Background-traffic filtering (§3.2 "Filtering").
+
+Three mechanisms, mirroring the paper: flows tagged ``background`` /
+``os-service`` at capture time are dropped; flows to hostnames known to
+belong to OS services (Google Play Services, iCloud, push) are dropped
+even when untagged; and a custom blocklist can extend the OS list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..device.phone import OS_SERVICE_HOSTS
+from ..net.trace import Trace
+
+BACKGROUND_TAGS = ("background", "os-service")
+
+
+def os_service_hostnames() -> set:
+    """Every known OS-service hostname across platforms."""
+    hosts: set = set()
+    for names in OS_SERVICE_HOSTS.values():
+        hosts.update(names)
+    return hosts
+
+
+def is_background_flow(flow, extra_hosts: Iterable = ()) -> bool:
+    if any(tag in flow.tags for tag in BACKGROUND_TAGS):
+        return True
+    host = flow.hostname.lower()
+    if host in os_service_hostnames():
+        return True
+    return host in {h.lower() for h in extra_hosts}
+
+
+def filter_background(trace: Trace, extra_hosts: Iterable = ()) -> Trace:
+    """Return a trace without background/OS-service flows."""
+    return trace.filtered(lambda flow: not is_background_flow(flow, extra_hosts))
+
+
+def background_share(trace: Trace) -> float:
+    """Fraction of flows that background filtering would remove."""
+    if not len(trace):
+        return 0.0
+    dropped = sum(1 for flow in trace if is_background_flow(flow))
+    return dropped / len(trace)

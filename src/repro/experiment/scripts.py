@@ -1,0 +1,61 @@
+"""Interaction scripts.
+
+A script is the sequence of user actions a tester performs during the
+four-minute session (§3.2: open the app/site, log in with the
+pre-created account, then use the service for its intended purpose).
+The same script instance drives both the app and the web session of a
+service, guaranteeing the identical-operations property the paper's
+methodology demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+OPEN = "open"
+LOGIN = "login"
+BROWSE = "browse"
+VIEW = "view"
+SEARCH = "search"
+
+DEFAULT_DURATION = 240.0
+
+# The rotating stream of in-service activities after open/login.
+_ACTIVITY_CYCLE = (BROWSE, VIEW, SEARCH, BROWSE, VIEW, BROWSE)
+
+
+@dataclass(frozen=True)
+class InteractionScript:
+    """A named action sequence with a time budget."""
+
+    name: str
+    requires_login: bool
+    duration: float = DEFAULT_DURATION
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+
+    def actions(self) -> Iterator:
+        """Yield actions indefinitely; the runner stops at the deadline.
+
+        The first yields are always ``open`` (and ``login`` when the
+        service requires an account); afterwards activities cycle.
+        """
+        yield OPEN
+        if self.requires_login:
+            yield LOGIN
+        index = 0
+        while True:
+            yield _ACTIVITY_CYCLE[index % len(_ACTIVITY_CYCLE)]
+            index += 1
+
+
+def standard_script(spec, duration: float = DEFAULT_DURATION) -> InteractionScript:
+    """The default four-minute manual test for a service."""
+    return InteractionScript(
+        name=f"standard-{spec.slug}",
+        requires_login=spec.requires_login,
+        duration=duration,
+    )

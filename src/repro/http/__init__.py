@@ -1,0 +1,60 @@
+"""HTTP substrate: URLs, headers, cookies, messages, bodies, sessions."""
+
+from .body import (
+    FORM_URLENCODED,
+    JSON_TYPE,
+    decode_body,
+    decode_form,
+    decode_json,
+    encode_form,
+    encode_json,
+    encode_multipart,
+    flatten_json,
+    gzip_compress,
+    gzip_decompress,
+)
+from .cookies import Cookie, CookieJar, parse_cookie_header, parse_set_cookie
+from .headers import Headers
+from .message import (
+    MessageError,
+    Request,
+    Response,
+    parse_request,
+    parse_response,
+    serialize_request,
+    serialize_response,
+)
+from .url import Url, UrlError, decode_query, encode_query, parse_url, percent_decode, percent_encode
+
+__all__ = [
+    "Cookie",
+    "CookieJar",
+    "FORM_URLENCODED",
+    "Headers",
+    "JSON_TYPE",
+    "MessageError",
+    "Request",
+    "Response",
+    "Url",
+    "UrlError",
+    "decode_body",
+    "decode_form",
+    "decode_json",
+    "decode_query",
+    "encode_form",
+    "encode_json",
+    "encode_multipart",
+    "encode_query",
+    "flatten_json",
+    "gzip_compress",
+    "gzip_decompress",
+    "parse_cookie_header",
+    "parse_request",
+    "parse_response",
+    "parse_set_cookie",
+    "parse_url",
+    "percent_decode",
+    "percent_encode",
+    "serialize_request",
+    "serialize_response",
+]

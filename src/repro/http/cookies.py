@@ -1,0 +1,191 @@
+"""Cookie parsing and client-side cookie storage.
+
+Web tracking in the paper's world is cookie-driven: trackers set IDs via
+``Set-Cookie`` and sync them across exchanges.  This module implements
+the ``Cookie`` request header, ``Set-Cookie`` response header (with the
+attributes that matter for scoping: Domain, Path, Expires/Max-Age,
+Secure, HttpOnly), and a :class:`CookieJar` with domain-match semantics
+close enough to RFC 6265 for the simulated ecosystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class CookieError(ValueError):
+    """Raised for Set-Cookie lines with no parsable name=value."""
+
+
+@dataclass
+class Cookie:
+    """One cookie as stored by a user agent."""
+
+    name: str
+    value: str
+    domain: str = ""
+    path: str = "/"
+    expires: Optional[float] = None  # simulated-clock absolute seconds
+    secure: bool = False
+    http_only: bool = False
+    host_only: bool = True
+
+    def expired(self, now: float) -> bool:
+        return self.expires is not None and now >= self.expires
+
+    def domain_matches(self, host: str) -> bool:
+        """RFC 6265 §5.1.3 domain-match against ``host``."""
+        host = host.lower()
+        domain = self.domain.lower()
+        if self.host_only or not domain:
+            return host == domain
+        if host == domain:
+            return True
+        return host.endswith("." + domain)
+
+    def path_matches(self, path: str) -> bool:
+        """RFC 6265 §5.1.4 path-match against a request path."""
+        if self.path == path:
+            return True
+        if path.startswith(self.path):
+            if self.path.endswith("/"):
+                return True
+            return path[len(self.path) :].startswith("/")
+        return False
+
+
+def parse_cookie_header(value: str) -> list:
+    """Parse a request ``Cookie`` header into (name, value) pairs."""
+    pairs = []
+    for chunk in value.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, sep, val = chunk.partition("=")
+        if not sep:
+            continue  # tolerate malformed crumbs
+        pairs.append((name.strip(), val.strip()))
+    return pairs
+
+
+def format_cookie_header(pairs: Iterable) -> str:
+    """Format (name, value) pairs as a request ``Cookie`` header."""
+    return "; ".join(f"{name}={value}" for name, value in pairs)
+
+
+def parse_set_cookie(line: str, request_host: str, now: float = 0.0) -> Cookie:
+    """Parse one ``Set-Cookie`` response header into a :class:`Cookie`.
+
+    ``request_host`` supplies the default (host-only) domain; ``now`` is
+    the simulated time used to resolve ``Max-Age``.
+    """
+    chunks = line.split(";")
+    name, sep, value = chunks[0].partition("=")
+    name = name.strip()
+    if not sep or not name:
+        raise CookieError(f"Set-Cookie has no name=value: {line!r}")
+    cookie = Cookie(name=name, value=value.strip(), domain=request_host.lower())
+
+    max_age: Optional[float] = None
+    for chunk in chunks[1:]:
+        attr, _, attr_value = chunk.strip().partition("=")
+        attr_lower = attr.strip().lower()
+        attr_value = attr_value.strip()
+        if attr_lower == "domain" and attr_value:
+            cookie.domain = attr_value.lstrip(".").lower()
+            cookie.host_only = False
+        elif attr_lower == "path" and attr_value.startswith("/"):
+            cookie.path = attr_value
+        elif attr_lower == "max-age":
+            try:
+                max_age = float(attr_value)
+            except ValueError:
+                pass
+        elif attr_lower == "expires" and attr_value:
+            # The simulated world writes Expires as "t=<seconds>"; real
+            # date strings are treated as session cookies.
+            if attr_value.startswith("t="):
+                try:
+                    cookie.expires = float(attr_value[2:])
+                except ValueError:
+                    pass
+        elif attr_lower == "secure":
+            cookie.secure = True
+        elif attr_lower == "httponly":
+            cookie.http_only = True
+    if max_age is not None:  # Max-Age wins over Expires (RFC 6265 §4.1.2.2)
+        cookie.expires = now + max_age
+    return cookie
+
+
+def format_set_cookie(cookie: Cookie) -> str:
+    """Serialize a :class:`Cookie` back to a ``Set-Cookie`` header."""
+    parts = [f"{cookie.name}={cookie.value}"]
+    if not cookie.host_only and cookie.domain:
+        parts.append(f"Domain={cookie.domain}")
+    if cookie.path != "/":
+        parts.append(f"Path={cookie.path}")
+    if cookie.expires is not None:
+        parts.append(f"Expires=t={cookie.expires}")
+    if cookie.secure:
+        parts.append("Secure")
+    if cookie.http_only:
+        parts.append("HttpOnly")
+    return "; ".join(parts)
+
+
+@dataclass
+class CookieJar:
+    """Client-side cookie store with RFC 6265 matching semantics."""
+
+    _cookies: dict = field(default_factory=dict)  # (domain, path, name) -> Cookie
+
+    def store(self, cookie: Cookie) -> None:
+        """Insert or replace a cookie (same domain+path+name replaces)."""
+        self._cookies[(cookie.domain, cookie.path, cookie.name)] = cookie
+
+    def store_from_response(self, set_cookie_values: Iterable, request_host: str, now: float = 0.0) -> int:
+        """Parse and store each ``Set-Cookie`` value; return count stored."""
+        stored = 0
+        for line in set_cookie_values:
+            try:
+                self.store(parse_set_cookie(line, request_host, now))
+                stored += 1
+            except CookieError:
+                continue
+        return stored
+
+    def matching(self, host: str, path: str = "/", secure: bool = True, now: float = 0.0) -> list:
+        """Return cookies to send for a request to ``host``/``path``.
+
+        Expired cookies are evicted as a side effect, mirroring user-agent
+        behaviour.
+        """
+        sendable = []
+        for key in list(self._cookies):
+            cookie = self._cookies[key]
+            if cookie.expired(now):
+                del self._cookies[key]
+                continue
+            if cookie.secure and not secure:
+                continue
+            if cookie.domain_matches(host) and cookie.path_matches(path):
+                sendable.append(cookie)
+        sendable.sort(key=lambda c: (-len(c.path), c.name))
+        return sendable
+
+    def cookie_header(self, host: str, path: str = "/", secure: bool = True, now: float = 0.0) -> str:
+        """Build the request ``Cookie`` header value, or ``""`` if none."""
+        pairs = [(c.name, c.value) for c in self.matching(host, path, secure, now)]
+        return format_cookie_header(pairs)
+
+    def clear(self) -> None:
+        """Drop every cookie (private-mode teardown / factory reset)."""
+        self._cookies.clear()
+
+    def __len__(self) -> int:
+        return len(self._cookies)
+
+    def all(self) -> list:
+        return list(self._cookies.values())

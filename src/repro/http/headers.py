@@ -1,0 +1,83 @@
+"""Case-insensitive, order-preserving HTTP header multi-map."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+
+class Headers:
+    """HTTP headers: case-insensitive lookup, duplicate-preserving.
+
+    Stored as a list of ``(name, value)`` pairs in insertion order, which
+    matters both for faithful wire serialization and because trackers
+    sometimes smuggle identifiers in repeated headers.
+    """
+
+    def __init__(self, items: Optional[Iterable] = None) -> None:
+        self._items: list = []
+        if items is not None:
+            for name, value in items:
+                self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        """Append a header, keeping any existing values of the same name."""
+        self._items.append((str(name), str(value)))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace every value of ``name`` with the single given value."""
+        self.remove(name)
+        self.add(name, value)
+
+    def setdefault(self, name: str, value: str) -> str:
+        """Set ``name`` to ``value`` unless present; return the final value."""
+        existing = self.get(name)
+        if existing is not None:
+            return existing
+        self.add(name, value)
+        return value
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Return the first value of ``name``, or ``default``."""
+        wanted = name.lower()
+        for key, value in self._items:
+            if key.lower() == wanted:
+                return value
+        return default
+
+    def get_all(self, name: str) -> list:
+        """Return every value of ``name`` in order."""
+        wanted = name.lower()
+        return [value for key, value in self._items if key.lower() == wanted]
+
+    def remove(self, name: str) -> int:
+        """Delete every value of ``name``; return how many were removed."""
+        wanted = name.lower()
+        before = len(self._items)
+        self._items = [(k, v) for k, v in self._items if k.lower() != wanted]
+        return before - len(self._items)
+
+    def items(self) -> list:
+        """Return a copy of the ``(name, value)`` pairs in order."""
+        return list(self._items)
+
+    def copy(self) -> "Headers":
+        return Headers(self._items)
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        ours = [(k.lower(), v) for k, v in self._items]
+        theirs = [(k.lower(), v) for k, v in other._items]
+        return ours == theirs
+
+    def __repr__(self) -> str:
+        return f"Headers({self._items!r})"

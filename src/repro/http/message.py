@@ -1,0 +1,231 @@
+"""HTTP/1.1 request and response models with wire serialization.
+
+The simulated clients, servers, and the interception proxy all exchange
+these message objects; :func:`serialize_request` / :func:`parse_request`
+(and the response equivalents) round-trip them through the actual
+HTTP/1.1 wire format so byte accounting reflects real message sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .headers import Headers
+from .url import Url, parse_url
+
+SUPPORTED_METHODS = frozenset(
+    {"GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS", "PATCH", "CONNECT"}
+)
+
+REASON_PHRASES = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    303: "See Other",
+    304: "Not Modified",
+    307: "Temporary Redirect",
+    308: "Permanent Redirect",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+REDIRECT_STATUSES = frozenset({301, 302, 303, 307, 308})
+
+
+class MessageError(ValueError):
+    """Raised for malformed HTTP messages."""
+
+
+@dataclass
+class Request:
+    """An HTTP request bound for a simulated server."""
+
+    method: str
+    url: Url
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.method not in SUPPORTED_METHODS:
+            raise MessageError(f"unsupported method {self.method!r}")
+        if isinstance(self.url, str):
+            self.url = parse_url(self.url)
+
+    @classmethod
+    def build(
+        cls,
+        method: str,
+        url: str,
+        headers: Optional[list] = None,
+        body: bytes = b"",
+        content_type: str = "",
+    ) -> "Request":
+        """Convenience constructor that fills in Host and length headers."""
+        request = cls(method=method, url=parse_url(url), body=body)
+        for name, value in headers or []:
+            request.headers.add(name, value)
+        if request.url.is_absolute:
+            request.headers.setdefault("Host", request.url.host)
+        if content_type:
+            request.headers.set("Content-Type", content_type)
+        if body:
+            request.headers.set("Content-Length", str(len(body)))
+        return request
+
+    @property
+    def host(self) -> str:
+        header = self.headers.get("Host")
+        if header:
+            return header.split(":")[0].lower()
+        return self.url.host
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("Content-Type", "")
+
+    def copy(self) -> "Request":
+        return Request(
+            method=self.method,
+            url=self.url,
+            headers=self.headers.copy(),
+            body=self.body,
+        )
+
+
+@dataclass
+class Response:
+    """An HTTP response from a simulated server."""
+
+    status: int
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status < 100 or self.status > 599:
+            raise MessageError(f"status out of range: {self.status}")
+        if not self.reason:
+            self.reason = REASON_PHRASES.get(self.status, "Unknown")
+
+    @classmethod
+    def build(
+        cls,
+        status: int,
+        body: bytes = b"",
+        content_type: str = "text/html",
+        headers: Optional[list] = None,
+    ) -> "Response":
+        response = cls(status=status, body=body)
+        for name, value in headers or []:
+            response.headers.add(name, value)
+        if body:
+            response.headers.setdefault("Content-Type", content_type)
+            response.headers.set("Content-Length", str(len(body)))
+        return response
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in REDIRECT_STATUSES and "Location" in self.headers
+
+    @property
+    def location(self) -> Optional[str]:
+        return self.headers.get("Location")
+
+    @property
+    def content_type(self) -> str:
+        return self.headers.get("Content-Type", "")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+def serialize_request(request: Request) -> bytes:
+    """Render a request in HTTP/1.1 wire format (origin-form target)."""
+    target = request.url.request_target
+    lines = [f"{request.method} {target} HTTP/1.1"]
+    headers = request.headers.copy()
+    if request.url.is_absolute:
+        headers.setdefault("Host", request.url.host)
+    if request.body:
+        headers.setdefault("Content-Length", str(len(request.body)))
+    for name, value in headers:
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+    return head + request.body
+
+
+def serialize_response(response: Response) -> bytes:
+    """Render a response in HTTP/1.1 wire format."""
+    lines = [f"HTTP/1.1 {response.status} {response.reason}"]
+    headers = response.headers.copy()
+    if response.body:
+        headers.setdefault("Content-Length", str(len(response.body)))
+    for name, value in headers:
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+    return head + response.body
+
+
+def _split_head(wire: bytes) -> tuple:
+    head, sep, body = wire.partition(b"\r\n\r\n")
+    if not sep:
+        raise MessageError("message has no header/body separator")
+    lines = head.decode("latin-1").split("\r\n")
+    return lines, body
+
+
+def _parse_headers(lines: list) -> Headers:
+    headers = Headers()
+    for line in lines:
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise MessageError(f"malformed header line {line!r}")
+        headers.add(name.strip(), value.strip())
+    return headers
+
+
+def parse_request(wire: bytes, scheme: str = "http") -> Request:
+    """Parse a request from HTTP/1.1 wire format.
+
+    ``scheme`` reconstructs the absolute URL from the Host header, since
+    origin-form targets don't carry it.
+    """
+    lines, body = _split_head(wire)
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise MessageError(f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    headers = _parse_headers(lines[1:])
+    host = headers.get("Host")
+    if host is None:
+        raise MessageError("request has no Host header")
+    url = parse_url(f"{scheme}://{host}{target}")
+    request = Request(method=method, url=url, body=body)
+    request.headers = headers
+    return request
+
+
+def parse_response(wire: bytes) -> Response:
+    """Parse a response from HTTP/1.1 wire format."""
+    lines, body = _split_head(wire)
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise MessageError(f"malformed status line {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise MessageError(f"bad status code in {lines[0]!r}") from exc
+    reason = parts[2] if len(parts) == 3 else ""
+    response = Response(status=status, body=body, reason=reason)
+    response.headers = _parse_headers(lines[1:])
+    return response

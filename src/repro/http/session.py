@@ -1,0 +1,194 @@
+"""HTTP client session: cookies, redirects, connection pooling.
+
+Both the simulated apps and the simulated browsers fetch through a
+:class:`ClientSession`.  The session owns redirect-following (the web
+RTB redirect chains in the paper ride on this), cookie handling, and a
+small keep-alive connection pool whose behaviour determines how many
+TCP flows a workload produces — the quantity Figure 1b measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .cookies import CookieJar
+from .headers import Headers
+from .message import Request, Response
+from .transport import Connection, NetworkError, Transport
+from .url import Url, parse_url
+
+DEFAULT_MAX_REDIRECTS = 10
+DEFAULT_REQUESTS_PER_CONNECTION = 8
+
+
+class TooManyRedirects(Exception):
+    """Raised when a redirect chain exceeds the session limit."""
+
+
+@dataclass
+class FetchResult:
+    """Outcome of one logical fetch, including any redirect hops."""
+
+    response: Response
+    url: Url
+    hops: list  # list[tuple[Url, Response]] — intermediate redirects
+    requests_sent: int
+
+    @property
+    def redirects(self) -> int:
+        return len(self.hops)
+
+
+class _PooledConnection:
+    def __init__(self, connection: Connection) -> None:
+        self.connection = connection
+        self.requests = 0
+
+
+class ClientSession:
+    """A cookie-aware HTTP client over a pluggable transport.
+
+    ``enforce_pins`` is set by app clients whose service ships a TLS pin
+    set; browsers leave it False.  ``now_fn`` supplies simulated time for
+    cookie expiry decisions.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        user_agent: str = "repro/1.0",
+        cookie_jar: Optional[CookieJar] = None,
+        enforce_pins: bool = False,
+        max_redirects: int = DEFAULT_MAX_REDIRECTS,
+        requests_per_connection: int = DEFAULT_REQUESTS_PER_CONNECTION,
+        now_fn=None,
+        send_cookies: bool = True,
+    ) -> None:
+        if max_redirects < 0:
+            raise ValueError("max_redirects cannot be negative")
+        if requests_per_connection < 1:
+            raise ValueError("requests_per_connection must be >= 1")
+        self.transport = transport
+        self.user_agent = user_agent
+        self.cookie_jar = cookie_jar if cookie_jar is not None else CookieJar()
+        self.enforce_pins = enforce_pins
+        self.max_redirects = max_redirects
+        self.requests_per_connection = requests_per_connection
+        self.send_cookies = send_cookies
+        self._now_fn = now_fn if now_fn is not None else (lambda: 0.0)
+        self._pool: dict = {}
+        self.connections_opened = 0
+        self.requests_sent = 0
+
+    # -- connection pool ---------------------------------------------------
+
+    def _connection_for(self, url: Url) -> _PooledConnection:
+        key = (url.host, url.effective_port, url.scheme)
+        pooled = self._pool.get(key)
+        if pooled is None or pooled.requests >= self.requests_per_connection:
+            if pooled is not None:
+                pooled.connection.close()
+            connection = self.transport.connect(
+                url.host, url.effective_port, url.scheme, enforce_pins=self.enforce_pins
+            )
+            pooled = _PooledConnection(connection)
+            self._pool[key] = pooled
+            self.connections_opened += 1
+        return pooled
+
+    def close(self) -> None:
+        """Close every pooled connection."""
+        for pooled in self._pool.values():
+            pooled.connection.close()
+        self._pool.clear()
+
+    def __enter__(self) -> "ClientSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request sending ---------------------------------------------------
+
+    def _prepare(self, request: Request) -> Request:
+        prepared = request.copy()
+        prepared.headers.setdefault("Host", prepared.url.host)
+        prepared.headers.setdefault("User-Agent", self.user_agent)
+        prepared.headers.setdefault("Accept", "*/*")
+        if self.send_cookies:
+            header = self.cookie_jar.cookie_header(
+                prepared.url.host,
+                prepared.url.path,
+                secure=prepared.url.scheme == "https",
+                now=self._now_fn(),
+            )
+            if header:
+                prepared.headers.set("Cookie", header)
+        return prepared
+
+    def _absorb_cookies(self, url: Url, response: Response) -> None:
+        set_cookies = response.headers.get_all("Set-Cookie")
+        if set_cookies:
+            self.cookie_jar.store_from_response(set_cookies, url.host, now=self._now_fn())
+
+    def send(self, request: Request) -> Response:
+        """Send one request without following redirects."""
+        prepared = self._prepare(request)
+        pooled = self._connection_for(prepared.url)
+        try:
+            response = pooled.connection.send(prepared)
+        except NetworkError:
+            # Stale keep-alive connection: retry once on a fresh one.
+            self._pool.pop(
+                (prepared.url.host, prepared.url.effective_port, prepared.url.scheme), None
+            )
+            pooled = self._connection_for(prepared.url)
+            response = pooled.connection.send(prepared)
+        pooled.requests += 1
+        self.requests_sent += 1
+        self._absorb_cookies(prepared.url, response)
+        return response
+
+    def fetch(self, request: Request) -> FetchResult:
+        """Send a request and follow redirects up to the session limit."""
+        hops = []
+        current = request
+        sent = 0
+        while True:
+            response = self.send(current)
+            sent += 1
+            if not response.is_redirect:
+                return FetchResult(
+                    response=response, url=current.url, hops=hops, requests_sent=sent
+                )
+            if len(hops) >= self.max_redirects:
+                raise TooManyRedirects(
+                    f"more than {self.max_redirects} redirects from {request.url}"
+                )
+            hops.append((current.url, response))
+            target = current.url.join(response.location or "")
+            method = current.method
+            body = current.body
+            if response.status == 303 or (
+                response.status in (301, 302) and method == "POST"
+            ):
+                method = "GET"
+                body = b""
+            current = Request.build(method, str(target), body=body)
+
+    def get(self, url: str, headers: Optional[list] = None) -> FetchResult:
+        """GET ``url`` following redirects."""
+        return self.fetch(Request.build("GET", url, headers=headers))
+
+    def post(
+        self,
+        url: str,
+        body: bytes = b"",
+        content_type: str = "application/x-www-form-urlencoded",
+        headers: Optional[list] = None,
+    ) -> FetchResult:
+        """POST ``body`` to ``url`` following redirects."""
+        return self.fetch(
+            Request.build("POST", url, headers=headers, body=body, content_type=content_type)
+        )

@@ -1,0 +1,146 @@
+"""Simulated network: server registry, connections, and transports.
+
+The :class:`Network` maps hostnames to handler objects (the simulated
+first- and third-party servers from :mod:`repro.services`).  Clients do
+not talk to it directly; they go through a :class:`Transport`, which
+hands out :class:`Connection` objects.  The interception proxy
+(:mod:`repro.proxy`) is an alternative Transport that records flows —
+swapping transports is exactly how a handset "connects to the VPN".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from ..tls.handshake import ServerTlsProfile
+from .message import Request, Response
+
+
+class NetworkError(Exception):
+    """Raised when a connection cannot be established or routed."""
+
+
+@runtime_checkable
+class Handler(Protocol):
+    """A simulated HTTP server for one or more hostnames."""
+
+    def handle(self, request: Request) -> Response: ...
+
+
+class Network:
+    """Routes requests to registered handlers by hostname.
+
+    Registration accepts exact names (``api.yelp.example``) or wildcard
+    names (``*.yelp.example``) that match one or more labels.  Each
+    hostname may also carry a :class:`ServerTlsProfile` describing its
+    HTTPS behaviour; hosts without one are HTTP-only.
+    """
+
+    def __init__(self) -> None:
+        self._exact: dict = {}
+        self._wildcard: dict = {}
+        self._tls: dict = {}
+
+    def register(
+        self,
+        hostname: str,
+        handler: Handler,
+        tls: Optional[ServerTlsProfile] = None,
+    ) -> None:
+        name = hostname.lower()
+        if name.startswith("*."):
+            self._wildcard[name[2:]] = handler
+        else:
+            self._exact[name] = handler
+        if tls is not None:
+            self._tls[name.lstrip("*.")] = tls
+
+    def lookup(self, hostname: str) -> Handler:
+        name = hostname.lower()
+        handler = self._exact.get(name)
+        if handler is not None:
+            return handler
+        parts = name.split(".")
+        for i in range(1, len(parts)):
+            handler = self._wildcard.get(".".join(parts[i:]))
+            if handler is not None:
+                return handler
+        raise NetworkError(f"no route to host {hostname!r}")
+
+    def knows(self, hostname: str) -> bool:
+        try:
+            self.lookup(hostname)
+        except NetworkError:
+            return False
+        return True
+
+    def tls_profile(self, hostname: str) -> ServerTlsProfile:
+        """Return the TLS profile for ``hostname`` (default: standard)."""
+        name = hostname.lower()
+        profile = self._tls.get(name)
+        if profile is not None:
+            return profile
+        parts = name.split(".")
+        for i in range(1, len(parts)):
+            profile = self._tls.get(".".join(parts[i:]))
+            if profile is not None:
+                # Re-issue under the concrete hostname so SNI matches.
+                return ServerTlsProfile(
+                    hostname=name,
+                    certificate=profile.certificate,
+                    app_pins=profile.app_pins,
+                )
+        return ServerTlsProfile.standard(name)
+
+    def dispatch(self, request: Request) -> Response:
+        """Route ``request`` to its handler and return the response."""
+        return self.lookup(request.host).handle(request)
+
+
+@runtime_checkable
+class Connection(Protocol):
+    """One logical TCP connection as seen by a client session."""
+
+    def send(self, request: Request) -> Response: ...
+
+    def close(self) -> None: ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Connection factory: either direct, or via the recording proxy."""
+
+    def connect(self, host: str, port: int, scheme: str, enforce_pins: bool = False) -> Connection: ...
+
+
+class DirectConnection:
+    """A connection that bypasses any proxy (not recorded)."""
+
+    def __init__(self, network: Network, host: str) -> None:
+        self._network = network
+        self._host = host
+        self._closed = False
+
+    def send(self, request: Request) -> Response:
+        if self._closed:
+            raise NetworkError("send on closed connection")
+        if request.host != self._host:
+            raise NetworkError(
+                f"request host {request.host!r} does not match connection host {self._host!r}"
+            )
+        return self._network.dispatch(request)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class DirectTransport:
+    """Transport used when the device is not tunneled through the proxy."""
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+
+    def connect(self, host: str, port: int, scheme: str, enforce_pins: bool = False) -> Connection:
+        if not self._network.knows(host):
+            raise NetworkError(f"no route to host {host!r}")
+        return DirectConnection(self._network, host.lower())

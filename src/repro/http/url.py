@@ -1,0 +1,249 @@
+"""URL parsing, serialization, and query-string handling.
+
+Implemented from scratch (rather than wrapping ``urllib``) so the rest of
+the stack controls exactly how components are normalized — the PII
+detector depends on stable percent-encoding behaviour when it re-encodes
+ground-truth values to search for them in URLs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+_SCHEME_PORTS = {"http": 80, "https": 443}
+_UNRESERVED = set(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~"
+)
+_HEX = "0123456789ABCDEF"
+
+
+class UrlError(ValueError):
+    """Raised for URLs the parser cannot interpret."""
+
+
+def percent_encode(text: str, safe: str = "") -> str:
+    """Percent-encode ``text``, leaving unreserved and ``safe`` chars bare."""
+    keep = _UNRESERVED | set(safe)
+    out = []
+    for byte in text.encode("utf-8"):
+        char = chr(byte)
+        if char in keep:
+            out.append(char)
+        else:
+            out.append(f"%{_HEX[byte >> 4]}{_HEX[byte & 0xF]}")
+    return "".join(out)
+
+
+def percent_decode(text: str, plus_as_space: bool = False) -> str:
+    """Decode percent-escapes (and optionally ``+`` as space).
+
+    Malformed escapes are left literal rather than raising: captured
+    traffic is adversarial input and the detector must not crash on it.
+    """
+    raw = bytearray()
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char == "%" and i + 2 < length + 1:
+            pair = text[i + 1 : i + 3]
+            if len(pair) == 2 and all(c in "0123456789abcdefABCDEF" for c in pair):
+                raw.append(int(pair, 16))
+                i += 3
+                continue
+        if plus_as_space and char == "+":
+            raw.append(0x20)
+        else:
+            raw.extend(char.encode("utf-8"))
+        i += 1
+    return raw.decode("utf-8", errors="replace")
+
+
+def encode_query(params: Iterable) -> str:
+    """Encode an iterable of (key, value) pairs as a query string."""
+    parts = []
+    for key, value in params:
+        parts.append(f"{percent_encode(str(key))}={percent_encode(str(value))}")
+    return "&".join(parts)
+
+
+def decode_query(query: str) -> list:
+    """Decode a query string to a list of (key, value) pairs.
+
+    Keeps duplicates and ordering; tolerates bare keys (no ``=``) and
+    empty segments, both of which appear in real tracker beacons.
+    """
+    pairs = []
+    if not query:
+        return pairs
+    for segment in query.split("&"):
+        if not segment:
+            continue
+        key, sep, value = segment.partition("=")
+        pairs.append(
+            (percent_decode(key, plus_as_space=True), percent_decode(value, plus_as_space=True))
+        )
+    return pairs
+
+
+@dataclass(frozen=True)
+class Url:
+    """A parsed absolute or relative HTTP(S) URL."""
+
+    scheme: str = ""
+    host: str = ""
+    port: Optional[int] = None
+    path: str = "/"
+    query: str = ""
+    fragment: str = ""
+
+    @property
+    def effective_port(self) -> int:
+        if self.port is not None:
+            return self.port
+        return _SCHEME_PORTS.get(self.scheme, 80)
+
+    @property
+    def origin(self) -> str:
+        """``scheme://host[:port]`` with default ports elided."""
+        if not self.host:
+            raise UrlError("relative URL has no origin")
+        port = ""
+        if self.port is not None and self.port != _SCHEME_PORTS.get(self.scheme):
+            port = f":{self.port}"
+        return f"{self.scheme}://{self.host}{port}"
+
+    @property
+    def is_absolute(self) -> bool:
+        return bool(self.scheme and self.host)
+
+    @property
+    def request_target(self) -> str:
+        """Path + query as sent on the request line."""
+        target = self.path or "/"
+        if self.query:
+            target += f"?{self.query}"
+        return target
+
+    def query_pairs(self) -> list:
+        return decode_query(self.query)
+
+    def with_query_pairs(self, pairs: Iterable) -> "Url":
+        return replace(self, query=encode_query(pairs))
+
+    def join(self, reference: str) -> "Url":
+        """Resolve ``reference`` against this URL (subset of RFC 3986).
+
+        Handles absolute URLs, protocol-relative (``//host/...``),
+        absolute paths, and relative paths — enough for redirect chains
+        and embedded resource references in the simulated web pages.
+        """
+        if not self.is_absolute:
+            raise UrlError("cannot join against a relative base")
+        if "://" in reference:
+            return parse_url(reference)
+        if reference.startswith("//"):
+            return parse_url(f"{self.scheme}:{reference}")
+        if reference.startswith("/"):
+            path, _, rest = reference.partition("?")
+            query, _, fragment = rest.partition("#")
+            return replace(self, path=path, query=query, fragment=fragment)
+        # relative path
+        base_dir = self.path.rsplit("/", 1)[0] + "/"
+        path, _, rest = reference.partition("?")
+        query, _, fragment = rest.partition("#")
+        return replace(self, path=_normalize_path(base_dir + path), query=query, fragment=fragment)
+
+    def __str__(self) -> str:
+        out = ""
+        if self.is_absolute:
+            out = self.origin
+        out += self.path or "/"
+        if self.query:
+            out += f"?{self.query}"
+        if self.fragment:
+            out += f"#{self.fragment}"
+        return out
+
+
+def _normalize_path(path: str) -> str:
+    """Collapse ``.`` and ``..`` segments in an absolute path."""
+    segments: list = []
+    for segment in path.split("/"):
+        if segment == "." or segment == "":
+            continue
+        if segment == "..":
+            if segments:
+                segments.pop()
+            continue
+        segments.append(segment)
+    normalized = "/" + "/".join(segments)
+    if path.endswith("/") and normalized != "/":
+        normalized += "/"
+    return normalized
+
+
+def parse_url(raw: str) -> Url:
+    """Parse an absolute ``http``/``https`` URL or a relative reference."""
+    if raw is None:
+        raise UrlError("URL is None")
+    raw = raw.strip()
+    if not raw:
+        raise UrlError("empty URL")
+
+    scheme = ""
+    rest = raw
+    if "://" in raw:
+        scheme, _, rest = raw.partition("://")
+        scheme = scheme.lower()
+        if scheme not in _SCHEME_PORTS:
+            raise UrlError(f"unsupported scheme {scheme!r} in {raw!r}")
+    elif raw.startswith("//"):
+        raise UrlError(f"protocol-relative URL needs a base: {raw!r}")
+
+    if not scheme:
+        path, _, after = rest.partition("?")
+        query, _, fragment = after.partition("#")
+        if "#" in path:
+            path, _, fragment = path.partition("#")
+            query = ""
+        return Url(path=path or "/", query=query, fragment=fragment)
+
+    authority, slash, after = rest.partition("/")
+    path_and_more = slash + after if slash else ""
+    if "?" in authority or "#" in authority:
+        # e.g. http://host?q=1 — empty path
+        for mark in "?#":
+            if mark in authority:
+                authority, _, tail = authority.partition(mark)
+                path_and_more = mark + tail
+                break
+
+    host = authority
+    port: Optional[int] = None
+    if "@" in host:
+        raise UrlError(f"userinfo is not supported: {raw!r}")
+    if ":" in host:
+        host, _, port_text = host.partition(":")
+        if not port_text.isdigit():
+            raise UrlError(f"bad port {port_text!r} in {raw!r}")
+        port = int(port_text)
+        if port < 1 or port > 65535:
+            raise UrlError(f"port out of range in {raw!r}")
+    if not host:
+        raise UrlError(f"missing host in {raw!r}")
+
+    path, _, after = path_and_more.partition("?")
+    query, _, fragment = after.partition("#")
+    if "#" in path:
+        path, _, fragment = path.partition("#")
+        query = ""
+    return Url(
+        scheme=scheme,
+        host=host.lower(),
+        port=port,
+        path=path or "/",
+        query=query,
+        fragment=fragment,
+    )

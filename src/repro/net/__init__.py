@@ -1,0 +1,51 @@
+"""Flow-level network substrate: clock, addressing, DNS, flows, traces."""
+
+from .clock import ClockError, SimClock
+from .dns import DnsError, Resolver, stable_address
+from .flow import CapturedRequest, CapturedResponse, Flow, HttpTransaction, TlsInfo
+from .inet import (
+    AddressError,
+    format_ipv4,
+    format_mac,
+    is_private_ipv4,
+    is_valid_ipv4,
+    is_valid_mac,
+    parse_ipv4,
+    parse_mac,
+    random_mac,
+    random_public_ipv4,
+)
+from .har import HarFormatError, dump_har, har_to_trace, load_har, trace_to_har
+from .trace import SessionMeta, Trace, TraceFormatError, merge_traces
+
+__all__ = [
+    "AddressError",
+    "CapturedRequest",
+    "CapturedResponse",
+    "ClockError",
+    "DnsError",
+    "Flow",
+    "HttpTransaction",
+    "Resolver",
+    "SessionMeta",
+    "SimClock",
+    "TlsInfo",
+    "Trace",
+    "TraceFormatError",
+    "HarFormatError",
+    "dump_har",
+    "har_to_trace",
+    "load_har",
+    "trace_to_har",
+    "format_ipv4",
+    "format_mac",
+    "is_private_ipv4",
+    "is_valid_ipv4",
+    "is_valid_mac",
+    "merge_traces",
+    "parse_ipv4",
+    "parse_mac",
+    "random_mac",
+    "random_public_ipv4",
+    "stable_address",
+]

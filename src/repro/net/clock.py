@@ -1,0 +1,65 @@
+"""Simulated monotonic clock.
+
+Every component in the reproduction shares a single :class:`SimClock` so
+that experiment timelines are deterministic and independent of wall-clock
+time.  The paper's methodology is time-based (four-minute manual
+sessions), so the clock is the backbone of the experiment runner: session
+scripts advance it as they interact with a service, and every captured
+flow is stamped with the simulated time at which it was observed.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(Exception):
+    """Raised on invalid clock manipulation (e.g. moving time backwards)."""
+
+
+class SimClock:
+    """A monotonic simulated clock measured in seconds.
+
+    The clock only moves forward, via :meth:`advance` or :meth:`sleep`
+    (an alias that reads better in interaction scripts).  Components that
+    need timestamps hold a reference to the clock and call :meth:`now`.
+
+    >>> clock = SimClock()
+    >>> clock.advance(1.5)
+    >>> clock.now()
+    1.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ClockError(f"clock cannot start before zero: {start}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds``.
+
+        Raises :class:`ClockError` if ``seconds`` is negative: simulated
+        time, like real time, never runs backwards.
+        """
+        if seconds < 0:
+            raise ClockError(f"cannot advance clock by negative time: {seconds}")
+        self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Alias for :meth:`advance`, for readable interaction scripts."""
+        self.advance(seconds)
+
+    def deadline(self, seconds_from_now: float) -> float:
+        """Return the absolute time ``seconds_from_now`` in the future."""
+        if seconds_from_now < 0:
+            raise ClockError(f"deadline must be in the future: {seconds_from_now}")
+        return self._now + seconds_from_now
+
+    def expired(self, deadline: float) -> bool:
+        """Return True once the clock has reached ``deadline``."""
+        return self._now >= deadline
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now:.3f}s)"

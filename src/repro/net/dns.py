@@ -1,0 +1,92 @@
+"""Deterministic DNS resolution for the simulated network.
+
+Hostnames in the simulated world resolve to stable IPv4 addresses derived
+from a keyed hash of the name, so that repeated runs (and separate
+components) agree on addressing without global registration.  A resolver
+instance additionally keeps a TTL cache and resolution counters, which
+the experiment harness uses to account for lookup traffic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .clock import SimClock
+from .inet import int_to_ipv4, is_valid_ipv4
+
+DEFAULT_TTL = 300.0
+
+
+class DnsError(Exception):
+    """Raised when a name cannot be resolved (e.g. NXDOMAIN overrides)."""
+
+
+def stable_address(hostname: str, namespace: str = "repro") -> str:
+    """Derive a deterministic public IPv4 address for ``hostname``.
+
+    The mapping is a keyed SHA-256 hash truncated to 32 bits, nudged out
+    of reserved ranges.  Subdomains of one registrable domain hash to
+    different addresses, matching the multi-CDN reality of A&A networks.
+    """
+    digest = hashlib.sha256(f"{namespace}:{hostname.lower()}".encode()).digest()
+    value = int.from_bytes(digest[:4], "big")
+    first = value >> 24
+    # Fold reserved / private first octets into a safe public range.
+    if first in (0, 10, 127) or first >= 224 or first == 192 or first == 172:
+        value = (value & 0x00FFFFFF) | (23 << 24)
+    return int_to_ipv4(value)
+
+
+class Resolver:
+    """A caching stub resolver over the deterministic address space.
+
+    Supports static overrides (pin a name to an address, or to ``None``
+    for NXDOMAIN) so tests can model outages and split-horizon setups.
+    """
+
+    def __init__(self, clock: SimClock, ttl: float = DEFAULT_TTL) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive: {ttl}")
+        self._clock = clock
+        self._ttl = ttl
+        self._cache: dict[str, tuple[str, float]] = {}
+        self._overrides: dict[str, str | None] = {}
+        self.queries = 0
+        self.cache_hits = 0
+
+    def add_override(self, hostname: str, address: str | None) -> None:
+        """Pin ``hostname`` to ``address``, or to NXDOMAIN when None."""
+        if address is not None and not is_valid_ipv4(address):
+            raise DnsError(f"override is not a valid IPv4 address: {address!r}")
+        self._overrides[hostname.lower()] = address
+
+    def resolve(self, hostname: str) -> str:
+        """Resolve ``hostname``, consulting the TTL cache first."""
+        if not hostname:
+            raise DnsError("cannot resolve empty hostname")
+        name = hostname.lower().rstrip(".")
+        self.queries += 1
+        cached = self._cache.get(name)
+        if cached is not None:
+            address, expires = cached
+            if not self._clock.expired(expires):
+                self.cache_hits += 1
+                return address
+            del self._cache[name]
+        if name in self._overrides:
+            override = self._overrides[name]
+            if override is None:
+                raise DnsError(f"NXDOMAIN: {hostname}")
+            address = override
+        else:
+            address = stable_address(name)
+        self._cache[name] = (address, self._clock.deadline(self._ttl))
+        return address
+
+    def flush(self) -> None:
+        """Drop every cached entry (e.g. after an airplane-mode toggle)."""
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

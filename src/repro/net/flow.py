@@ -1,0 +1,291 @@
+"""Flow-level records produced by traffic capture.
+
+A :class:`Flow` models one TCP connection between the handset and a
+server, as seen by the interception proxy (the reproduction's stand-in
+for Meddle).  Each flow carries zero or more :class:`HttpTransaction`
+records — the decrypted request/response pairs — plus byte and packet
+accounting used by the paper's Figure 1b (flows) and Figure 1c (bytes).
+
+These records are deliberately plain (dataclasses of strings, ints and
+bytes) so they serialize losslessly to the JSONL trace format and can be
+consumed by the PII detector without importing the HTTP client stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+# Rough per-packet envelope used to convert payload sizes into packet
+# counts: TCP/IP headers plus typical TLS record overhead.
+_MSS = 1400
+_HEADER_OVERHEAD = 40
+
+
+@dataclass
+class TlsInfo:
+    """TLS session metadata attached to an encrypted flow.
+
+    ``pinned`` marks servers that certificate-pin (the proxy cannot
+    decrypt these, mirroring the paper's exclusion of Facebook/Twitter);
+    ``intercepted`` records whether the MITM succeeded.
+    """
+
+    sni: str
+    version: str = "TLSv1.2"
+    cipher: str = "ECDHE-RSA-AES128-GCM-SHA256"
+    pinned: bool = False
+    intercepted: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "sni": self.sni,
+            "version": self.version,
+            "cipher": self.cipher,
+            "pinned": self.pinned,
+            "intercepted": self.intercepted,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TlsInfo":
+        return cls(
+            sni=data["sni"],
+            version=data.get("version", "TLSv1.2"),
+            cipher=data.get("cipher", "ECDHE-RSA-AES128-GCM-SHA256"),
+            pinned=bool(data.get("pinned", False)),
+            intercepted=bool(data.get("intercepted", True)),
+        )
+
+
+@dataclass
+class CapturedRequest:
+    """An HTTP request as recorded by the proxy."""
+
+    method: str
+    url: str
+    headers: list = field(default_factory=list)  # list[tuple[str, str]]
+    body: bytes = b""
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Return the first header value matching ``name`` (case-insensitive)."""
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return default
+
+    @property
+    def size(self) -> int:
+        """Approximate on-the-wire request size in bytes."""
+        line = len(self.method) + len(self.url) + 12
+        headers = sum(len(k) + len(v) + 4 for k, v in self.headers)
+        return line + headers + len(self.body)
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "url": self.url,
+            "headers": [[k, v] for k, v in self.headers],
+            "body": self.body.decode("latin-1"),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CapturedRequest":
+        return cls(
+            method=data["method"],
+            url=data["url"],
+            headers=[tuple(h) for h in data.get("headers", [])],
+            body=data.get("body", "").encode("latin-1"),
+        )
+
+
+@dataclass
+class CapturedResponse:
+    """An HTTP response as recorded by the proxy."""
+
+    status: int
+    reason: str = ""
+    headers: list = field(default_factory=list)
+    body: bytes = b""
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Return the first header value matching ``name`` (case-insensitive)."""
+        wanted = name.lower()
+        for key, value in self.headers:
+            if key.lower() == wanted:
+                return value
+        return default
+
+    @property
+    def size(self) -> int:
+        """Approximate on-the-wire response size in bytes."""
+        line = len(self.reason) + 15
+        headers = sum(len(k) + len(v) + 4 for k, v in self.headers)
+        return line + headers + len(self.body)
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "reason": self.reason,
+            "headers": [[k, v] for k, v in self.headers],
+            "body": self.body.decode("latin-1"),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CapturedResponse":
+        return cls(
+            status=data["status"],
+            reason=data.get("reason", ""),
+            headers=[tuple(h) for h in data.get("headers", [])],
+            body=data.get("body", "").encode("latin-1"),
+        )
+
+
+@dataclass
+class HttpTransaction:
+    """One request/response exchange inside a flow."""
+
+    timestamp: float
+    request: CapturedRequest
+    response: Optional[CapturedResponse] = None
+
+    @property
+    def size(self) -> int:
+        total = self.request.size
+        if self.response is not None:
+            total += self.response.size
+        return total
+
+    def to_dict(self) -> dict:
+        return {
+            "timestamp": self.timestamp,
+            "request": self.request.to_dict(),
+            "response": self.response.to_dict() if self.response else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HttpTransaction":
+        response = data.get("response")
+        return cls(
+            timestamp=data["timestamp"],
+            request=CapturedRequest.from_dict(data["request"]),
+            response=CapturedResponse.from_dict(response) if response else None,
+        )
+
+
+@dataclass
+class Flow:
+    """One TCP connection observed by the proxy.
+
+    ``tags`` carries provenance labels attached during capture and
+    filtering — e.g. ``"background"`` for OS-service traffic, or the
+    originating process name — which the experiment harness uses to
+    discard non-foreground flows exactly as §3.2 of the paper does.
+    """
+
+    flow_id: int
+    ts_start: float
+    client_ip: str
+    client_port: int
+    server_ip: str
+    server_port: int
+    hostname: str
+    scheme: str = "http"
+    ts_end: float = 0.0
+    tls: Optional[TlsInfo] = None
+    transactions: list = field(default_factory=list)
+    tags: set = field(default_factory=set)
+    bytes_up: int = 0
+    bytes_down: int = 0
+
+    @property
+    def encrypted(self) -> bool:
+        return self.tls is not None
+
+    @property
+    def decrypted(self) -> bool:
+        """True when transaction payloads are visible to the analysis."""
+        return self.tls is None or self.tls.intercepted
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_up + self.bytes_down
+
+    @property
+    def packets(self) -> int:
+        """Estimated packet count from byte totals (for reporting only)."""
+        payload = self.total_bytes
+        if payload == 0:
+            return 2  # bare handshake
+        return max(2, (payload + _MSS - 1) // _MSS + 2)
+
+    def add_transaction(
+        self,
+        txn: HttpTransaction,
+        bytes_up: Optional[int] = None,
+        bytes_down: Optional[int] = None,
+    ) -> None:
+        """Append a transaction and update byte accounting and timestamps.
+
+        ``bytes_up``/``bytes_down`` override the sizes computed from the
+        stored messages — the proxy passes true wire sizes here when it
+        truncates large response bodies for storage.
+        """
+        self.transactions.append(txn)
+        if bytes_up is None:
+            bytes_up = txn.request.size + _HEADER_OVERHEAD
+        if bytes_down is None:
+            bytes_down = (txn.response.size + _HEADER_OVERHEAD) if txn.response else 0
+        self.bytes_up += bytes_up
+        self.bytes_down += bytes_down
+        if txn.timestamp > self.ts_end:
+            self.ts_end = txn.timestamp
+
+    def account_opaque(self, bytes_up: int, bytes_down: int) -> None:
+        """Record undecryptable (pinned-TLS) payload volume."""
+        if bytes_up < 0 or bytes_down < 0:
+            raise ValueError("byte counts cannot be negative")
+        self.bytes_up += bytes_up
+        self.bytes_down += bytes_down
+
+    def iter_transactions(self) -> Iterator[HttpTransaction]:
+        return iter(self.transactions)
+
+    def to_dict(self) -> dict:
+        return {
+            "flow_id": self.flow_id,
+            "ts_start": self.ts_start,
+            "ts_end": self.ts_end,
+            "client_ip": self.client_ip,
+            "client_port": self.client_port,
+            "server_ip": self.server_ip,
+            "server_port": self.server_port,
+            "hostname": self.hostname,
+            "scheme": self.scheme,
+            "tls": self.tls.to_dict() if self.tls else None,
+            "transactions": [t.to_dict() for t in self.transactions],
+            "tags": sorted(self.tags),
+            "bytes_up": self.bytes_up,
+            "bytes_down": self.bytes_down,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Flow":
+        flow = cls(
+            flow_id=data["flow_id"],
+            ts_start=data["ts_start"],
+            client_ip=data["client_ip"],
+            client_port=data["client_port"],
+            server_ip=data["server_ip"],
+            server_port=data["server_port"],
+            hostname=data["hostname"],
+            scheme=data.get("scheme", "http"),
+            ts_end=data.get("ts_end", 0.0),
+            tls=TlsInfo.from_dict(data["tls"]) if data.get("tls") else None,
+            tags=set(data.get("tags", [])),
+        )
+        for txn_data in data.get("transactions", []):
+            flow.transactions.append(HttpTransaction.from_dict(txn_data))
+        flow.bytes_up = data.get("bytes_up", 0)
+        flow.bytes_down = data.get("bytes_down", 0)
+        return flow

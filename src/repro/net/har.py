@@ -1,0 +1,251 @@
+"""HAR 1.2 export for captured traces.
+
+HTTP Archive is the lingua franca of web-traffic tooling; exporting a
+:class:`~repro.net.trace.Trace` as HAR lets the captures be inspected in
+browser dev-tools, har-analyzers, or compared against real captures.
+Only decrypted transactions can be exported (opaque pinned flows carry
+no message payloads); they are noted in the log comment.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..http.cookies import parse_cookie_header
+from ..http.url import UrlError, parse_url
+from .trace import Trace
+
+HAR_VERSION = "1.2"
+CREATOR = {"name": "repro", "version": "1.0.0"}
+
+
+def _iso(timestamp: float) -> str:
+    """Render simulated seconds as an ISO-8601 offset from epoch zero."""
+    whole = int(timestamp)
+    millis = int(round((timestamp - whole) * 1000))
+    hours, rem = divmod(whole, 3600)
+    minutes, seconds = divmod(rem, 60)
+    return f"1970-01-01T{hours:02d}:{minutes:02d}:{seconds:02d}.{millis:03d}Z"
+
+
+def _query_entries(url_text: str) -> list:
+    try:
+        url = parse_url(url_text)
+    except UrlError:
+        return []
+    return [{"name": k, "value": v} for k, v in url.query_pairs()]
+
+
+def _header_entries(headers: list) -> list:
+    return [{"name": name, "value": value} for name, value in headers]
+
+
+def _cookie_entries(headers: list) -> list:
+    out = []
+    for name, value in headers:
+        if name.lower() == "cookie":
+            out.extend(
+                {"name": k, "value": v} for k, v in parse_cookie_header(value)
+            )
+    return out
+
+
+def _request_entry(request) -> dict:
+    entry = {
+        "method": request.method,
+        "url": request.url,
+        "httpVersion": "HTTP/1.1",
+        "headers": _header_entries(request.headers),
+        "queryString": _query_entries(request.url),
+        "cookies": _cookie_entries(request.headers),
+        "headersSize": -1,
+        "bodySize": len(request.body),
+    }
+    if request.body:
+        entry["postData"] = {
+            "mimeType": request.header("Content-Type", "") or "application/octet-stream",
+            "text": request.body.decode("latin-1"),
+        }
+    return entry
+
+
+def _response_entry(response) -> dict:
+    if response is None:
+        return {
+            "status": 0, "statusText": "", "httpVersion": "HTTP/1.1",
+            "headers": [], "cookies": [], "content": {"size": 0, "mimeType": ""},
+            "redirectURL": "", "headersSize": -1, "bodySize": -1,
+        }
+    return {
+        "status": response.status,
+        "statusText": response.reason,
+        "httpVersion": "HTTP/1.1",
+        "headers": _header_entries(response.headers),
+        "cookies": [],
+        "content": {
+            "size": len(response.body),
+            "mimeType": response.header("Content-Type", "") or "",
+            "text": response.body.decode("latin-1"),
+        },
+        "redirectURL": response.header("Location", "") or "",
+        "headersSize": -1,
+        "bodySize": len(response.body),
+    }
+
+
+def trace_to_har(trace: Trace) -> dict:
+    """Convert a trace to a HAR 1.2 ``log`` document."""
+    entries = []
+    opaque = 0
+    for flow in trace:
+        if not flow.decrypted:
+            opaque += 1
+            continue
+        for txn in flow.transactions:
+            entries.append(
+                {
+                    "startedDateTime": _iso(txn.timestamp),
+                    "time": 1.0,
+                    "request": _request_entry(txn.request),
+                    "response": _response_entry(txn.response),
+                    "cache": {},
+                    "timings": {"send": 0, "wait": 1, "receive": 0},
+                    "serverIPAddress": flow.server_ip,
+                    "connection": str(flow.flow_id),
+                    "comment": f"scheme={flow.scheme} host={flow.hostname}",
+                }
+            )
+    meta = trace.meta
+    comment = (
+        f"service={meta.service} os={meta.os_name} medium={meta.medium}"
+        + (f"; {opaque} opaque (pinned/passthrough) flows omitted" if opaque else "")
+    )
+    return {
+        "log": {
+            "version": HAR_VERSION,
+            "creator": dict(CREATOR),
+            "pages": [],
+            "entries": entries,
+            "comment": comment,
+        }
+    }
+
+
+def dump_har(trace: Trace, path: Union[str, Path]) -> None:
+    """Write the trace to ``path`` as a HAR file."""
+    with Path(path).open("w", encoding="utf-8") as handle:
+        json.dump(trace_to_har(trace), handle, indent=1)
+
+
+# -- import (the other direction) ----------------------------------------------
+
+
+class HarFormatError(Exception):
+    """Raised when a HAR document cannot be interpreted."""
+
+
+def _parse_iso_offset(text: str) -> float:
+    """Best-effort HAR timestamp -> seconds-since-start-of-day float."""
+    try:
+        clock_part = text.split("T", 1)[1].rstrip("Z").split("+")[0].split("-")[0]
+        hours, minutes, seconds = clock_part.split(":")
+        return int(hours) * 3600 + int(minutes) * 60 + float(seconds)
+    except (IndexError, ValueError):
+        return 0.0
+
+
+def har_to_trace(document: dict, meta=None):
+    """Convert a HAR 1.x ``log`` into a :class:`~repro.net.trace.Trace`.
+
+    This is how *real* captures (mitmproxy's ``hardump``, browser
+    dev-tools exports) enter the pipeline: the resulting trace feeds
+    :class:`~repro.pii.detector.PiiDetector` and the categorizer exactly
+    like simulated traffic.  Entries are grouped into flows by
+    ``connection`` id when present, else by (scheme, host).
+    """
+    from .flow import CapturedRequest, CapturedResponse, Flow, TlsInfo
+    from .trace import SessionMeta
+
+    try:
+        entries = document["log"]["entries"]
+    except (KeyError, TypeError) as exc:
+        raise HarFormatError(f"not a HAR document: {exc}") from exc
+    if meta is None:
+        meta = SessionMeta(service="imported", os_name="unknown", medium="unknown")
+
+    from .trace import Trace
+
+    trace = Trace(meta=meta)
+    flows: dict = {}
+    next_id = 0
+    for entry in entries:
+        request_data = entry.get("request", {})
+        url_text = request_data.get("url", "")
+        try:
+            url = parse_url(url_text)
+        except UrlError:
+            continue  # non-HTTP entries (websockets, data URLs)
+        if not url.is_absolute:
+            continue
+        host, scheme = url.host, url.scheme
+        key = entry.get("connection") or f"{scheme}://{host}"
+        flow = flows.get(key)
+        if flow is None:
+            flow = Flow(
+                flow_id=next_id,
+                ts_start=_parse_iso_offset(entry.get("startedDateTime", "")),
+                client_ip="0.0.0.0",
+                client_port=0,
+                server_ip=entry.get("serverIPAddress") or "0.0.0.0",
+                server_port=url.effective_port,
+                hostname=host,
+                scheme=scheme,
+                tls=TlsInfo(sni=host) if scheme == "https" else None,
+            )
+            flows[key] = flow
+            trace.add(flow)
+            next_id += 1
+
+        headers = [
+            (h.get("name", ""), h.get("value", ""))
+            for h in request_data.get("headers", [])
+        ]
+        post = request_data.get("postData") or {}
+        body = post.get("text", "").encode("latin-1", errors="replace")
+        request = CapturedRequest(
+            method=request_data.get("method", "GET"),
+            url=url_text,
+            headers=headers,
+            body=body,
+        )
+        response_data = entry.get("response") or {}
+        response = None
+        if response_data.get("status"):
+            content = response_data.get("content") or {}
+            response = CapturedResponse(
+                status=int(response_data["status"]),
+                reason=response_data.get("statusText", ""),
+                headers=[
+                    (h.get("name", ""), h.get("value", ""))
+                    for h in response_data.get("headers", [])
+                ],
+                body=(content.get("text") or "").encode("latin-1", errors="replace"),
+            )
+        from .flow import HttpTransaction
+
+        flow.add_transaction(
+            HttpTransaction(
+                timestamp=_parse_iso_offset(entry.get("startedDateTime", "")),
+                request=request,
+                response=response,
+            )
+        )
+    return trace
+
+
+def load_har(path, meta=None):
+    """Read a HAR file from disk into a trace."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return har_to_trace(json.load(handle), meta=meta)

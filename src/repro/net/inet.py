@@ -1,0 +1,146 @@
+"""IPv4 and MAC address helpers.
+
+Small, dependency-free address utilities used across the flow layer, the
+DNS resolver, and the device substrate.  Addresses are represented as
+plain strings in canonical form; these helpers validate, generate, and
+classify them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+_PRIVATE_BLOCKS = (
+    ((10, 0, 0, 0), 8),
+    ((172, 16, 0, 0), 12),
+    ((192, 168, 0, 0), 16),
+)
+
+
+class AddressError(ValueError):
+    """Raised for malformed IPv4 or MAC addresses."""
+
+
+def parse_ipv4(address: str) -> tuple[int, int, int, int]:
+    """Parse a dotted-quad IPv4 address into a 4-tuple of octets.
+
+    Raises :class:`AddressError` on malformed input (wrong number of
+    parts, non-numeric parts, octets out of range, or leading-zero
+    octets, which are ambiguous between decimal and octal readings).
+    """
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"expected 4 octets in {address!r}")
+    octets = []
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"non-numeric octet {part!r} in {address!r}")
+        if len(part) > 1 and part[0] == "0":
+            raise AddressError(f"leading zero in octet {part!r} of {address!r}")
+        value = int(part)
+        if value > 255:
+            raise AddressError(f"octet {value} out of range in {address!r}")
+        octets.append(value)
+    return tuple(octets)  # type: ignore[return-value]
+
+
+def format_ipv4(octets: Iterable[int]) -> str:
+    """Format a 4-tuple of octets as a dotted-quad string."""
+    quad = list(octets)
+    if len(quad) != 4 or any(o < 0 or o > 255 for o in quad):
+        raise AddressError(f"invalid octets: {quad}")
+    return ".".join(str(o) for o in quad)
+
+
+def is_valid_ipv4(address: str) -> bool:
+    """Return True if ``address`` is a well-formed dotted-quad IPv4."""
+    try:
+        parse_ipv4(address)
+    except AddressError:
+        return False
+    return True
+
+
+def ipv4_to_int(address: str) -> int:
+    """Convert a dotted-quad address to its 32-bit integer value."""
+    a, b, c, d = parse_ipv4(address)
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def int_to_ipv4(value: int) -> str:
+    """Convert a 32-bit integer to a dotted-quad address."""
+    if value < 0 or value > 0xFFFFFFFF:
+        raise AddressError(f"value out of 32-bit range: {value}")
+    return format_ipv4(((value >> 24) & 0xFF, (value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF))
+
+
+def is_private_ipv4(address: str) -> bool:
+    """Return True for RFC 1918 private addresses."""
+    value = ipv4_to_int(address)
+    for block, prefix in _PRIVATE_BLOCKS:
+        base = ipv4_to_int(format_ipv4(block))
+        mask = (0xFFFFFFFF << (32 - prefix)) & 0xFFFFFFFF
+        if (value & mask) == base:
+            return True
+    return False
+
+
+def random_public_ipv4(rng: random.Random) -> str:
+    """Draw a random, non-private, non-reserved IPv4 address."""
+    while True:
+        value = rng.getrandbits(32)
+        address = int_to_ipv4(value)
+        first = value >> 24
+        if first in (0, 10, 127) or first >= 224:
+            continue
+        if is_private_ipv4(address):
+            continue
+        return address
+
+
+def parse_mac(address: str) -> bytes:
+    """Parse a colon-separated MAC address into 6 raw bytes."""
+    parts = address.split(":")
+    if len(parts) != 6:
+        raise AddressError(f"expected 6 octets in MAC {address!r}")
+    try:
+        raw = bytes(int(part, 16) for part in parts)
+    except ValueError as exc:
+        raise AddressError(f"non-hex octet in MAC {address!r}") from exc
+    if any(len(part) != 2 for part in parts):
+        raise AddressError(f"octets must be two hex digits in MAC {address!r}")
+    return raw
+
+
+def format_mac(raw: bytes) -> str:
+    """Format 6 raw bytes as a lowercase colon-separated MAC address."""
+    if len(raw) != 6:
+        raise AddressError(f"MAC must be 6 bytes, got {len(raw)}")
+    return ":".join(f"{b:02x}" for b in raw)
+
+
+def is_valid_mac(address: str) -> bool:
+    """Return True if ``address`` is a well-formed MAC address."""
+    try:
+        parse_mac(address)
+    except AddressError:
+        return False
+    return True
+
+
+def random_mac(rng: random.Random, oui: tuple[int, int, int] | None = None) -> str:
+    """Generate a random unicast, locally-administered MAC address.
+
+    ``oui`` optionally fixes the first three octets (vendor prefix); the
+    device substrate uses real-looking vendor prefixes per handset model.
+    """
+    if oui is not None:
+        head = bytes(oui)
+        if len(head) != 3 or any(b < 0 or b > 255 for b in oui):
+            raise AddressError(f"invalid OUI: {oui}")
+    else:
+        first = (rng.getrandbits(8) & 0xFC) | 0x02  # unicast + locally administered
+        head = bytes([first, rng.getrandbits(8), rng.getrandbits(8)])
+    tail = bytes(rng.getrandbits(8) for _ in range(3))
+    return format_mac(head + tail)

@@ -1,0 +1,126 @@
+"""Ground-truth string matching over captured traffic.
+
+The controlled-experiment half of §3.2's detection methodology: because
+every piece of PII on the test device is known, the matcher can search
+each request for every encoded variant of every known value.  GPS
+coordinates get special treatment — services transmit them "with
+arbitrary precision", so numeric tokens are compared within a tolerance
+instead of textually.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..net.flow import CapturedRequest
+from . import encodings
+from .structure import extract_fields, searchable_text
+from .types import PiiType
+
+# A coordinate token: optional sign, digits, a dot, 2+ decimals.
+_COORD_RE = re.compile(r"-?\d{1,3}\.\d{2,}")
+GPS_TOLERANCE = 0.02
+
+
+@dataclass(frozen=True)
+class PiiMatch:
+    """One detected occurrence of a ground-truth value in a request."""
+
+    pii_type: PiiType
+    value: str  # the ground-truth value (not the encoded form)
+    encoding: str
+    source: str  # structure source, or "text" for raw scans
+    key: str = ""
+
+
+class GroundTruthMatcher:
+    """Searches requests for known PII values under common encodings."""
+
+    def __init__(self, ground_truth: dict, include_hashes: bool = True) -> None:
+        """``ground_truth`` maps :class:`PiiType` to lists of raw values."""
+        self._forms: dict = {}  # encoded form -> (PiiType, value, encoding)
+        self._digit_forms: list = []  # (compiled regex, PiiType, value, encoding)
+        self._coords: list = []  # (float value, raw string) for LOCATION
+        for pii_type, values in ground_truth.items():
+            for value in values:
+                if pii_type == PiiType.LOCATION and _looks_like_coordinate(value):
+                    self._coords.append((float(value), value))
+                    continue
+                for form, encoding in encodings.variants(
+                    value, include_hashes=include_hashes
+                ).items():
+                    if form.isdigit() and len(form) < 10:
+                        # Short digit strings (ZIP codes, short phone
+                        # fragments) need digit boundaries or they match
+                        # inside random numeric identifiers.
+                        pattern = re.compile(rf"(?<!\d){re.escape(form)}(?!\d)")
+                        self._digit_forms.append((pattern, pii_type, value, encoding))
+                    else:
+                        self._forms.setdefault(form, (pii_type, value, encoding))
+
+    def match_text(self, text: str) -> list:
+        """Scan free text; returns deduplicated :class:`PiiMatch` list."""
+        found = {}
+        lowered = text.lower()
+        for form, (pii_type, value, encoding) in self._forms.items():
+            probe = form if encoding != encodings.LOWER else form
+            # Case-sensitive check first; fall back to case-insensitive
+            # for identity forms (hosts uppercase MACs, etc.).
+            if form in text or form.lower() in lowered:
+                found[(pii_type, value, encoding)] = PiiMatch(
+                    pii_type=pii_type, value=value, encoding=encoding, source="text"
+                )
+        for pattern, pii_type, value, encoding in self._digit_forms:
+            if pattern.search(text):
+                found[(pii_type, value, encoding)] = PiiMatch(
+                    pii_type=pii_type, value=value, encoding=encoding, source="text"
+                )
+        for coord, raw in self._coords:
+            for token in _COORD_RE.findall(text):
+                try:
+                    if abs(float(token) - coord) <= GPS_TOLERANCE:
+                        found[(PiiType.LOCATION, raw, "coordinate")] = PiiMatch(
+                            pii_type=PiiType.LOCATION,
+                            value=raw,
+                            encoding="coordinate",
+                            source="text",
+                        )
+                        break
+                except ValueError:
+                    continue
+        return list(found.values())
+
+    def match_request(self, request: CapturedRequest) -> list:
+        """Scan a captured request, attributing hits to structured keys.
+
+        Structure-attributed matches replace their text-scan twins, so a
+        value found in the query string reports ``source="query"`` and
+        the parameter name rather than a bare text hit.
+        """
+        by_identity = {}
+        for match in self.match_text(searchable_text(request)):
+            by_identity[(match.pii_type, match.value, match.encoding)] = match
+        for field in extract_fields(request):
+            for match in self.match_text(field.value):
+                key = (match.pii_type, match.value, match.encoding)
+                by_identity[key] = PiiMatch(
+                    pii_type=match.pii_type,
+                    value=match.value,
+                    encoding=match.encoding,
+                    source=field.source,
+                    key=field.key,
+                )
+        return list(by_identity.values())
+
+    def types_in_request(self, request: CapturedRequest) -> set:
+        """Convenience: the set of PII types present in a request."""
+        return {match.pii_type for match in self.match_request(request)}
+
+
+def _looks_like_coordinate(value: str) -> bool:
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return False
+    return "." in value and -180.0 <= number <= 180.0

@@ -1,0 +1,14 @@
+"""Meddle/mitmproxy substrate: recording VPN proxy with TLS interception."""
+
+from .addons import FlowCounter, HostTagger, RequestLogger
+from .meddle import CaptureError, InterceptionProxy, ProxyConnection, ProxyTransport
+
+__all__ = [
+    "CaptureError",
+    "FlowCounter",
+    "HostTagger",
+    "InterceptionProxy",
+    "ProxyConnection",
+    "ProxyTransport",
+    "RequestLogger",
+]

@@ -1,0 +1,69 @@
+"""Bundled proxy addons.
+
+Small mitmproxy-style addons used by the experiment harness: traffic
+tagging, host blocking, and a live counter useful in tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..http.message import Request, Response
+from ..net.flow import Flow
+
+
+class HostTagger:
+    """Tag flows to specific hosts at connect time.
+
+    The runner uses this to label OS-service traffic (Google Play
+    Services, iCloud, …) so §3.2-style background filtering can drop it.
+    """
+
+    def __init__(self, tag: str, hostnames: Iterable) -> None:
+        self.tag = tag
+        self._exact: set = set()
+        self._suffixes: list = []
+        for name in hostnames:
+            name = name.lower()
+            if name.startswith("*."):
+                self._suffixes.append(name[1:])  # keep the dot
+            else:
+                self._exact.add(name)
+
+    def matches(self, hostname: str) -> bool:
+        hostname = hostname.lower()
+        if hostname in self._exact:
+            return True
+        return any(hostname.endswith(suffix) for suffix in self._suffixes)
+
+    def tcp_connect(self, flow: Flow) -> None:
+        if self.matches(flow.hostname):
+            flow.tags.add(self.tag)
+
+
+class FlowCounter:
+    """Count connections, requests, and responses passing the proxy."""
+
+    def __init__(self) -> None:
+        self.connects = 0
+        self.requests = 0
+        self.responses = 0
+
+    def tcp_connect(self, flow: Flow) -> None:
+        self.connects += 1
+
+    def request(self, flow: Flow, request: Request) -> None:
+        self.requests += 1
+
+    def response(self, flow: Flow, request: Request, response: Response) -> None:
+        self.responses += 1
+
+
+class RequestLogger:
+    """Invoke a callback for each decrypted request (tests, debugging)."""
+
+    def __init__(self, callback: Callable) -> None:
+        self.callback = callback
+
+    def request(self, flow: Flow, request: Request) -> None:
+        self.callback(flow, request)

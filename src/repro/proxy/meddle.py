@@ -1,0 +1,240 @@
+"""Meddle-style interception proxy.
+
+The paper captures traffic by tunneling handsets through Meddle (a VPN)
+and decrypting TLS with mitmproxy.  :class:`InterceptionProxy` plays
+both roles: it is a :class:`~repro.http.transport.Transport` factory
+that sits between client sessions and the simulated network, records
+every connection as a :class:`~repro.net.flow.Flow` in the active
+:class:`~repro.net.trace.Trace`, and MITMs TLS with certificates minted
+by its own CA.
+
+Semantics mirror the real setup:
+
+- Decryption works only if the device has installed (trusts) the proxy
+  CA, which :meth:`repro.device.phone.Phone.connect_vpn` arranges.
+- Apps that ship certificate pins abort the handshake under MITM (the
+  reason the paper excludes Facebook/Twitter).  Hosts can be added to
+  ``passthrough_hosts`` to tunnel them un-decrypted; their flows are
+  then recorded with byte counts but no transaction payloads.
+- mitmproxy-style addons get ``request``/``response``/``tcp_connect``
+  callbacks and may tag flows (used for background-traffic labeling).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..http.message import Request, Response, serialize_request, serialize_response
+from ..http.transport import Network, NetworkError
+from ..net.clock import SimClock
+from ..net.dns import Resolver
+from ..net.flow import CapturedRequest, CapturedResponse, Flow, HttpTransaction, TlsInfo
+from ..net.trace import SessionMeta, Trace
+from ..tls.certs import PROXY_CA, CaStore
+from ..tls.handshake import HandshakeError, negotiate
+
+
+class CaptureError(Exception):
+    """Raised on invalid capture lifecycle operations."""
+
+
+def _captured_request(request: Request) -> CapturedRequest:
+    return CapturedRequest(
+        method=request.method,
+        url=str(request.url),
+        headers=request.headers.items(),
+        body=request.body,
+    )
+
+
+def _captured_response(response: Response) -> CapturedResponse:
+    return CapturedResponse(
+        status=response.status,
+        reason=response.reason,
+        headers=response.headers.items(),
+        body=response.body,
+    )
+
+
+class InterceptionProxy:
+    """Recording VPN/MITM proxy for one simulated network."""
+
+    def __init__(
+        self,
+        network: Network,
+        clock: SimClock,
+        resolver: Optional[Resolver] = None,
+        intercept_tls: bool = True,
+        max_stored_body: Optional[int] = 2048,
+    ) -> None:
+        self.network = network
+        self.clock = clock
+        self.resolver = resolver if resolver is not None else Resolver(clock)
+        self.intercept_tls = intercept_tls
+        # Response bodies larger than this are truncated in the stored
+        # trace (byte accounting still uses true wire sizes) — the same
+        # trick mitmproxy uses to keep long captures in memory.
+        self.max_stored_body = max_stored_body
+        self.ca_issuer = PROXY_CA
+        self.passthrough_hosts: set = set()
+        self.addons: list = []
+        self._trace: Optional[Trace] = None
+        self._next_flow_id = 0
+        self._next_port = 40000
+
+    # -- capture lifecycle -------------------------------------------------
+
+    @property
+    def capturing(self) -> bool:
+        return self._trace is not None
+
+    def start_capture(self, meta: SessionMeta) -> None:
+        """Begin recording flows into a fresh trace."""
+        if self._trace is not None:
+            raise CaptureError("capture already in progress")
+        self._trace = Trace(meta=meta)
+
+    def stop_capture(self) -> Trace:
+        """Stop recording and return the completed trace."""
+        if self._trace is None:
+            raise CaptureError("no capture in progress")
+        trace, self._trace = self._trace, None
+        return trace
+
+    def add_addon(self, addon) -> None:
+        """Register a mitmproxy-style addon (duck-typed callbacks)."""
+        self.addons.append(addon)
+
+    def _emit(self, event: str, *args) -> None:
+        for addon in self.addons:
+            callback = getattr(addon, event, None)
+            if callback is not None:
+                callback(*args)
+
+    # -- transport factory ---------------------------------------------------
+
+    def transport_for(
+        self,
+        ca_store: CaStore,
+        client_ip: str = "10.11.0.2",
+        tags: Optional[set] = None,
+    ) -> "ProxyTransport":
+        """Build the transport a tunneled device uses.
+
+        ``ca_store`` is the *device's* trust store — decryption succeeds
+        only if it trusts this proxy's CA.  ``tags`` are attached to every
+        flow from this transport (e.g. ``{"background"}``).
+        """
+        return ProxyTransport(self, ca_store, client_ip, tags or set())
+
+    # -- internals used by ProxyConnection ----------------------------------
+
+    def _open_flow(
+        self, host: str, port: int, scheme: str, client_ip: str, tags: set
+    ) -> Flow:
+        server_ip = self.resolver.resolve(host)
+        self._next_port += 1
+        flow = Flow(
+            flow_id=self._next_flow_id,
+            ts_start=self.clock.now(),
+            client_ip=client_ip,
+            client_port=self._next_port,
+            server_ip=server_ip,
+            server_port=port,
+            hostname=host.lower(),
+            scheme=scheme,
+            ts_end=self.clock.now(),
+            tags=set(tags),
+        )
+        self._next_flow_id += 1
+        if self._trace is not None:
+            self._trace.add(flow)
+        self._emit("tcp_connect", flow)
+        return flow
+
+
+class ProxyTransport:
+    """Transport bound to one device's trust store and address."""
+
+    def __init__(self, proxy: InterceptionProxy, ca_store: CaStore, client_ip: str, tags: set) -> None:
+        self.proxy = proxy
+        self.ca_store = ca_store
+        self.client_ip = client_ip
+        self.tags = tags
+
+    def connect(self, host: str, port: int, scheme: str, enforce_pins: bool = False) -> "ProxyConnection":
+        proxy = self.proxy
+        if not proxy.network.knows(host):
+            raise NetworkError(f"no route to host {host!r}")
+        flow = proxy._open_flow(host, port, scheme, self.client_ip, self.tags)
+
+        if scheme == "https":
+            profile = proxy.network.tls_profile(host)
+            intercept = proxy.intercept_tls and host.lower() not in proxy.passthrough_hosts
+            try:
+                result = negotiate(
+                    profile,
+                    self.ca_store,
+                    proxy.clock.now(),
+                    intercept=intercept,
+                    enforce_pins=enforce_pins,
+                )
+            except HandshakeError as exc:
+                flow.tls = TlsInfo(sni=host, pinned=profile.app_pins is not None, intercepted=False)
+                flow.tags.add("tls-failed")
+                raise NetworkError(f"TLS handshake failed for {host}: {exc}") from exc
+            flow.tls = TlsInfo(
+                sni=result.sni,
+                version=result.version,
+                cipher=result.cipher,
+                pinned=result.pinned,
+                intercepted=result.intercepted,
+            )
+        return ProxyConnection(proxy, flow)
+
+
+class ProxyConnection:
+    """One recorded connection through the proxy."""
+
+    def __init__(self, proxy: InterceptionProxy, flow: Flow) -> None:
+        self.proxy = proxy
+        self.flow = flow
+        self._closed = False
+
+    def send(self, request: Request) -> Response:
+        if self._closed:
+            raise NetworkError("send on closed connection")
+        if request.host != self.flow.hostname:
+            raise NetworkError(
+                f"request host {request.host!r} does not match connection "
+                f"host {self.flow.hostname!r}"
+            )
+        proxy = self.proxy
+        decryptable = self.flow.tls is None or self.flow.tls.intercepted
+
+        if decryptable:
+            proxy._emit("request", self.flow, request)
+        response = proxy.network.dispatch(request)
+        if decryptable:
+            proxy._emit("response", self.flow, request, response)
+            captured_response = _captured_response(response)
+            wire_down = captured_response.size + 40
+            limit = proxy.max_stored_body
+            if limit is not None and len(captured_response.body) > limit:
+                captured_response.body = captured_response.body[:limit]
+            txn = HttpTransaction(
+                timestamp=proxy.clock.now(),
+                request=_captured_request(request),
+                response=captured_response,
+            )
+            self.flow.add_transaction(txn, bytes_down=wire_down)
+        else:
+            # Pinned / passthrough: payload is opaque, count bytes only.
+            self.flow.account_opaque(
+                len(serialize_request(request)), len(serialize_response(response))
+            )
+            self.flow.ts_end = proxy.clock.now()
+        return response
+
+    def close(self) -> None:
+        self._closed = True

@@ -1,0 +1,43 @@
+"""Simulated online-service world: catalog, behaviours, third parties."""
+
+from .adsdk import SdkProfile, known_profiles, profile_for
+from .catalog import build_catalog, catalog_by_slug, rows
+from .endpoints import FirstPartyHandler
+from .service import (
+    FIRST_PARTY_DEST,
+    AppConfig,
+    AppRuntime,
+    LeakSpec,
+    ServiceSpec,
+    SessionStats,
+    WebConfig,
+    WebRuntime,
+)
+from .thirdparty import ThirdParty, aa_domains, all_hostnames, by_role, get, registry
+from .world import World, build_world
+
+__all__ = [
+    "AppConfig",
+    "AppRuntime",
+    "FIRST_PARTY_DEST",
+    "FirstPartyHandler",
+    "LeakSpec",
+    "SdkProfile",
+    "ServiceSpec",
+    "SessionStats",
+    "ThirdParty",
+    "WebConfig",
+    "WebRuntime",
+    "World",
+    "aa_domains",
+    "all_hostnames",
+    "build_catalog",
+    "build_world",
+    "by_role",
+    "catalog_by_slug",
+    "get",
+    "known_profiles",
+    "profile_for",
+    "registry",
+    "rows",
+]

@@ -1,0 +1,138 @@
+"""First-party servers for the simulated online services.
+
+One :class:`FirstPartyHandler` serves every host of a service's
+first-party domains: the mobile web site (HTML pages that embed tracker
+tags, ad slots, and static resources), the app-facing JSON API, static
+assets, and the login endpoint.  Page structure is deterministic per
+(service, path) so repeated runs produce identical traffic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+
+from ..http.body import encode_json
+from ..http.message import Request, Response
+from ..http.url import encode_query
+from .thirdparty import AD_EXCHANGE, get as get_party
+from .webtracker import sized_blob
+
+
+def _det(seed: str, low: int, high: int) -> int:
+    """Deterministic integer in [low, high] keyed by ``seed``."""
+    if low > high:
+        raise ValueError(f"empty range [{low}, {high}]")
+    digest = hashlib.sha256(seed.encode()).digest()
+    return low + int.from_bytes(digest[4:8], "big") % (high - low + 1)
+
+
+class FirstPartyHandler:
+    """Serves web pages, the app API, and assets for one service."""
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+        self._session_counter = itertools.count(1)
+        self.api_requests = 0
+        self.page_requests = 0
+        self.logins = 0
+
+    # -- HTML generation ------------------------------------------------------
+
+    def _page_html(self, path: str) -> bytes:
+        spec = self.spec
+        web = spec.web
+        scheme = "https" if web.https else "http"
+        head_parts = [
+            "<html><head>",
+            f"<title>{spec.name}</title>",
+            f'<link rel="stylesheet" href="/static/site.css">',
+        ]
+        for domain in web.tracker_domains:
+            party = get_party(domain)
+            head_parts.append(f'<script src="https://{party.beacon_host}/tag.js"></script>')
+        body_parts = ["</head><body>", f"<h1>{spec.name}</h1>"]
+
+        seed = f"{spec.slug}:{path}"
+        first_party_count = _det(seed + ":fp", *web.first_party_resources)
+        for i in range(first_party_count):
+            body_parts.append(f'<img src="/static/img-{_slugify(path)}-{i}.jpg">')
+        for ci, cdn in enumerate(web.cdn_domains):
+            cdn_host = get_party(cdn).beacon_host
+            for i in range(_det(f"{seed}:cdn{ci}", 2, 5)):
+                body_parts.append(
+                    f'<img src="https://{cdn_host}/assets/{spec.slug}/{_slugify(path)}-{i}.jpg">'
+                )
+
+        exchanges = list(web.ad_exchange_domains)
+        for slot in range(web.ad_slots_per_page):
+            if not exchanges:
+                break
+            exchange = get_party(exchanges[slot % len(exchanges)])
+            ad_url = f"https://{exchange.beacon_host}/ad?" + encode_query(
+                [("slot", str(slot)), ("pub", spec.domain), ("pg", _slugify(path))]
+            )
+            body_parts.append(f'<img src="{ad_url}">')
+
+        body_parts.append("</body></html>")
+        html = "\n".join(head_parts + body_parts)
+        target = _det(seed + ":size", *web.page_bytes)
+        if len(html) < target:
+            html += "\n<!-- " + "x" * (target - len(html) - 10) + " -->"
+        return html.encode()
+
+    # -- request routing ------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        path = request.url.path
+        if path.startswith("/api/"):
+            return self._handle_api(request)
+        if path.startswith("/static/"):
+            return self._handle_static(path)
+        if path in ("/telemetry", "/collect"):
+            return Response.build(204)
+        if path == "/login" and request.method == "POST":
+            return self._handle_web_login()
+        self.page_requests += 1
+        return Response.build(200, self._page_html(path), "text/html; charset=utf-8")
+
+    def _handle_api(self, request: Request) -> Response:
+        self.api_requests += 1
+        path = request.url.path
+        if path == "/api/login" and request.method == "POST":
+            self.logins += 1
+            response = Response.build(
+                200,
+                encode_json({"token": f"sess-{next(self._session_counter):06d}", "ok": True}),
+                "application/json",
+            )
+            response.headers.add(
+                "Set-Cookie", f"session={next(self._session_counter):06d}; Path=/"
+            )
+            return response
+        payload = {
+            "endpoint": path,
+            "items": [
+                {"id": i, "title": f"item-{i}", "blurb": "x" * 80}
+                for i in range(_det(f"{self.spec.slug}:{path}:items", 3, 12))
+            ],
+        }
+        return Response.build(200, encode_json(payload), "application/json")
+
+    def _handle_static(self, path: str) -> Response:
+        if path.endswith(".css"):
+            body = sized_blob(f"{self.spec.slug}:{path}", 4_000, 20_000)
+            return Response.build(200, body, "text/css")
+        body = sized_blob(f"{self.spec.slug}:{path}", 8_000, 60_000)
+        return Response.build(200, body, "image/jpeg")
+
+    def _handle_web_login(self) -> Response:
+        self.logins += 1
+        response = Response(status=302)
+        response.headers.set("Location", "/account")
+        response.headers.add("Set-Cookie", f"session={next(self._session_counter):06d}; Path=/")
+        return response
+
+
+def _slugify(path: str) -> str:
+    return "".join(c if c.isalnum() else "-" for c in path).strip("-") or "home"

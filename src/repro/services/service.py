@@ -1,0 +1,509 @@
+"""Service behaviour model: specs and the app/web traffic runtimes.
+
+A :class:`ServiceSpec` describes one of the 50 online services — its
+first-party domains, the SDKs its apps embed, the trackers its web pages
+carry, and its :class:`LeakSpec` list, which states exactly which PII
+type flows to which destination on which platform.  The two runtime
+classes replay a scripted user session over either medium:
+
+- :class:`AppRuntime` drives first-party API calls plus SDK
+  configuration fetches, event beacons, and in-app ad requests;
+- :class:`WebRuntime` drives page loads through the browser engine
+  (which fans out to tags, ad slots, and RTB chains) and then fires the
+  beacons the page's "JavaScript" would send.
+
+The same interaction script is used for both media — the paper's
+identical-operations requirement (§3.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..device.phone import Permission, Phone
+from ..device.browser import Browser
+from ..http.body import encode_form, encode_json
+from ..http.session import ClientSession
+from ..http.transport import NetworkError
+from ..http.url import encode_query
+from ..net.clock import SimClock
+from ..pii.encodings import encode_value
+from ..pii.recon import KEY_SYNONYMS
+from ..pii.types import PiiType
+from .adsdk import SdkProfile, profile_for
+from .thirdparty import get as get_party
+
+FIRST_PARTY_DEST = "first"
+
+# Default wire parameter name per PII type (the first ReCon synonym).
+_DEFAULT_KEYS = {pii_type: synonyms[0] for pii_type, synonyms in KEY_SYNONYMS.items()}
+
+
+@dataclass(frozen=True)
+class LeakSpec:
+    """One PII route: a type sent to a destination on given platforms."""
+
+    pii_type: PiiType
+    destination: str  # FIRST_PARTY_DEST or a third-party registrable domain
+    media: tuple = ("app", "web")
+    oses: tuple = ("android", "ios")
+    plaintext: bool = False
+    encoding: str = "identity"
+    cadence: str = "per_action"  # or "once" (login/init only)
+    key: str = ""  # wire param name; defaults per type
+
+    def applies(self, medium: str, os_name: str) -> bool:
+        return medium in self.media and os_name in self.oses
+
+    @property
+    def wire_key(self) -> str:
+        return self.key or _DEFAULT_KEYS[self.pii_type]
+
+
+@dataclass(frozen=True)
+class AppConfig:
+    """Platform app behaviour for one service."""
+
+    sdk_domains: tuple = ()
+    api_calls_per_action: tuple = (2, 4)
+    https: bool = True  # first-party API uses HTTPS
+    pinned: bool = False  # certificate pinning (excluded services)
+    permissions: tuple = (Permission.LOCATION, Permission.PHONE_STATE)
+
+    def sdks(self) -> list:
+        return [profile_for(domain) for domain in self.sdk_domains]
+
+
+@dataclass(frozen=True)
+class WebConfig:
+    """Web-site behaviour for one service."""
+
+    tracker_domains: tuple = ("google-analytics.com",)
+    ad_exchange_domains: tuple = ()
+    ad_slots_per_page: int = 2
+    # How many times each tracker's beacon fires per user action
+    # (viewability pings, scroll events); news sites ping constantly.
+    beacons_per_action: int = 1
+    first_party_resources: tuple = (6, 14)
+    cdn_domains: tuple = ("cloudfront.net",)
+    page_bytes: tuple = (30_000, 90_000)
+    https: bool = True
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One online service available as app and web site."""
+
+    name: str
+    slug: str
+    category: str
+    rank: int
+    domain: str
+    extra_domains: tuple = ()
+    requires_login: bool = True
+    sso_domains: tuple = ()  # single-sign-on providers (policy carve-out)
+    app: AppConfig = field(default_factory=AppConfig)
+    app_overrides: dict = field(default_factory=dict)  # os_name -> AppConfig
+    web: WebConfig = field(default_factory=WebConfig)
+    leaks: tuple = ()
+    oses: tuple = ("android", "ios")  # platforms the service is tested on
+
+    def app_config(self, os_name: str) -> AppConfig:
+        return self.app_overrides.get(os_name, self.app)
+
+    @property
+    def first_party_domains(self) -> tuple:
+        return (self.domain,) + self.extra_domains
+
+    @property
+    def www_host(self) -> str:
+        return f"www.{self.domain}"
+
+    @property
+    def api_host(self) -> str:
+        return f"api.{self.domain}"
+
+    def leaks_for(self, medium: str, os_name: str) -> list:
+        return [leak for leak in self.leaks if leak.applies(medium, os_name)]
+
+    @property
+    def cert_pinned(self) -> bool:
+        return any(cfg.pinned for cfg in (self.app, *self.app_overrides.values()))
+
+
+class _PiiSource:
+    """Resolves leak specs to concrete wire values for one device/user."""
+
+    def __init__(self, phone: Phone, app_slug: Optional[str] = None) -> None:
+        self.phone = phone
+        self.app_slug = app_slug
+        self._truth = phone.ground_truth()
+
+    def values_for(self, pii_type: PiiType) -> list:
+        values = self._truth.get(pii_type, [])
+        return [v for v in values if v]
+
+    def wire_pairs(self, leak: LeakSpec) -> list:
+        """(key, encoded value) pairs for one leak spec."""
+        values = self.values_for(leak.pii_type)
+        if not values:
+            return []
+        if leak.pii_type == PiiType.LOCATION:
+            persona = self.phone.persona
+            pairs = []
+            if persona is not None:
+                pairs.append(("lat", f"{persona.latitude:.6f}"))
+                pairs.append(("lon", f"{persona.longitude:.6f}"))
+                pairs.append(("zip", persona.zip_code))
+            return pairs
+        if leak.pii_type == PiiType.UNIQUE_ID:
+            # Apps send the advertising ID plus platform identifiers.
+            pairs = [("adid", encode_value(self.phone.ad_id, leak.encoding))]
+            if self.app_slug is not None and self.phone.has_permission(
+                self.app_slug, Permission.PHONE_STATE
+            ):
+                pairs.append(("imei", encode_value(self.phone.imei, leak.encoding)))
+                pairs.append(("mac", encode_value(self.phone.wifi_mac, leak.encoding)))
+            return pairs
+        value = values[0]
+        return [(leak.wire_key, encode_value(value, leak.encoding))]
+
+
+def _beacon_scheme(leak_plaintext: bool, party_supports_http: bool) -> str:
+    return "http" if (leak_plaintext and party_supports_http) else "https"
+
+
+@dataclass
+class SessionStats:
+    """Counters a runtime reports after replaying a script."""
+
+    actions: int = 0
+    requests: int = 0
+    pages: int = 0
+    login_performed: bool = False
+
+
+class AppRuntime:
+    """Replays a scripted session through a service's native app."""
+
+    def __init__(
+        self,
+        spec: ServiceSpec,
+        phone: Phone,
+        clock: SimClock,
+        rng: random.Random,
+    ) -> None:
+        self.spec = spec
+        self.phone = phone
+        self.clock = clock
+        self.rng = rng
+        self.config = spec.app_config(phone.os_name)
+        self.session = ClientSession(
+            phone.transport(),
+            user_agent=phone.user_agent("app", app_name=spec.name.replace(" ", "")),
+            enforce_pins=self.config.pinned,
+            # Analytics/ad SDKs churn connections instead of pooling; a
+            # small per-connection budget reproduces the TCP-connection
+            # counts apps generate in Figure 1b.
+            requests_per_connection=3,
+            now_fn=clock.now,
+        )
+        self.pii = _PiiSource(phone, app_slug=spec.slug)
+        self.stats = SessionStats()
+        self._action_index = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _api_scheme(self) -> str:
+        return "https" if self.config.https else "http"
+
+    def _leaks(self, cadence: str) -> list:
+        return [
+            leak
+            for leak in self.spec.leaks_for("app", self.phone.os_name)
+            if leak.cadence == cadence
+        ]
+
+    def _first_party_pairs(self, cadence: str) -> list:
+        pairs = []
+        for leak in self._leaks(cadence):
+            if leak.destination == FIRST_PARTY_DEST:
+                pairs.extend(self.pii.wire_pairs(leak))
+        return pairs
+
+    def _sdk_leak_pairs(self, sdk_domain: str, cadence: str) -> list:
+        pairs = []
+        for leak in self._leaks(cadence):
+            if leak.destination == sdk_domain:
+                pairs.extend(self.pii.wire_pairs(leak))
+        return pairs
+
+    def _sdk_plaintext(self, sdk_domain: str, cadence: str) -> bool:
+        return any(
+            leak.plaintext
+            for leak in self._leaks(cadence)
+            if leak.destination == sdk_domain
+        )
+
+    def _get(self, url: str) -> None:
+        try:
+            self.session.get(url)
+            self.stats.requests += 1
+        except NetworkError:
+            pass
+
+    def _post(self, url: str, payload: dict) -> None:
+        try:
+            self.session.post(url, body=encode_json(payload), content_type="application/json")
+            self.stats.requests += 1
+        except NetworkError:
+            pass
+
+    def _send_beacon(self, sdk: SdkProfile, cadence: str) -> None:
+        party = get_party(sdk.domain)
+        pairs = [("app", self.spec.slug), ("os", self.phone.os_name), ("sdk_ver", "3.2")]
+        pairs += self._sdk_leak_pairs(sdk.domain, cadence)
+        plaintext = self._sdk_plaintext(sdk.domain, cadence)
+        scheme = _beacon_scheme(plaintext, party.supports_http)
+        host = sdk.beacon_host
+        if sdk.uses_post:
+            self._post(f"{scheme}://{host}{sdk.beacon_path}", dict(pairs))
+        else:
+            self._get(f"{scheme}://{host}{sdk.beacon_path}?{encode_query(pairs)}")
+
+    def _fetch_ad(self, sdk: SdkProfile) -> None:
+        host = sdk.beacon_host
+        pairs = [("slot", str(self.rng.randrange(4))), ("app", self.spec.slug)]
+        pairs += self._sdk_leak_pairs(sdk.domain, "per_action")
+        pairs += self._sdk_leak_pairs(sdk.domain, "ad_fetch")
+        # In-app SDKs request creatives directly (no browser to bounce
+        # through sync chains) — a structural reason apps touch fewer
+        # A&A domains than the web (§4.1).
+        self._get(f"https://{host}/creative?{encode_query(pairs)}")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def launch(self) -> None:
+        """App start: permission prompts, config fetches, SDK init."""
+        for permission in self.config.permissions:
+            self.phone.request_permission(self.spec.slug, permission)
+        api = f"{self._api_scheme()}://{self.spec.api_host}"
+        self._get(f"{api}/api/config?app_ver=5.1&os={self.phone.os_name}")
+        self._get(f"{api}/api/feed?page=0")
+        for sdk in self.config.sdks():
+            self._get(f"https://{sdk.beacon_host}{sdk.config_path}?app={self.spec.slug}")
+            self._send_beacon(sdk, cadence="once")
+        self.clock.advance(2.0)
+
+    def login(self) -> None:
+        """Sign in with the pre-created account for this service."""
+        persona = self.phone.persona
+        if persona is None:
+            raise RuntimeError("no persona on phone")
+        payload = {"login": persona.email, "password": persona.password}
+        self._post(f"{self._api_scheme()}://{self.spec.api_host}/api/login", payload)
+        self._send_credential_posts("app", persona)
+        extra = self._first_party_pairs("once")
+        if extra:
+            api = f"{self._api_scheme()}://{self.spec.api_host}"
+            self._get(f"{api}/api/profile?{encode_query(extra)}")
+        self.stats.login_performed = True
+        self.clock.advance(3.0)
+
+    def _send_credential_posts(self, medium: str, persona) -> None:
+        """Third-party identity logins (Gigya/Usablenet pattern, §4.2).
+
+        Credential leak specs pointing at parties outside the SDK list
+        are delivered as dedicated login POSTs.  The loginID is opaque
+        (see the calibration note in the catalog module).
+        """
+        sdk_domains = set(self.config.sdk_domains)
+        by_destination: dict = {}
+        for leak in self._leaks("once"):
+            if leak.destination == FIRST_PARTY_DEST or leak.destination in sdk_domains:
+                continue
+            if leak.pii_type not in (PiiType.PASSWORD, PiiType.EMAIL, PiiType.USERNAME):
+                continue
+            by_destination.setdefault(leak.destination, []).append(leak)
+        for destination, specs in by_destination.items():
+            payload = {"loginID": f"acct-{self.spec.slug}-7f21"}
+            for leak in specs:
+                if leak.pii_type == PiiType.PASSWORD:
+                    payload["password"] = persona.password
+                elif leak.pii_type == PiiType.EMAIL:
+                    payload["email"] = persona.email
+                else:
+                    payload["username"] = persona.username
+            host = get_party(destination).beacon_host
+            self._post(f"https://{host}/accounts/login", payload)
+
+    def perform_action(self, action: str) -> None:
+        """One scripted interaction (browse, search, view, …)."""
+        self._action_index += 1
+        self.stats.actions += 1
+        api = f"{self._api_scheme()}://{self.spec.api_host}"
+        calls = self.rng.randint(*self.config.api_calls_per_action)
+        first_party_pairs = self._first_party_pairs("per_action")
+        for i in range(calls):
+            pairs = [("action", action), ("seq", str(self._action_index * 10 + i))]
+            # First-party PII (e.g. the GPS fix a weather API needs)
+            # rides on every API call.
+            pairs += first_party_pairs
+            self._get(f"{api}/api/{action}?{encode_query(pairs)}")
+        for sdk in self.config.sdks():
+            for _ in range(sdk.beacons_per_action):
+                self._send_beacon(sdk, cadence="per_action")
+            if sdk.serves_ads and self._action_index % sdk.ad_refresh_actions == 0:
+                self._fetch_ad(sdk)
+        self.clock.advance(self.rng.uniform(8.0, 20.0))
+
+    def close(self) -> None:
+        self.session.close()
+
+
+class WebRuntime:
+    """Replays the same scripted session through the mobile web site."""
+
+    def __init__(
+        self,
+        spec: ServiceSpec,
+        browser: Browser,
+        clock: SimClock,
+        rng: random.Random,
+    ) -> None:
+        self.spec = spec
+        self.browser = browser
+        self.clock = clock
+        self.rng = rng
+        self.config = spec.web
+        self.browser_session = browser.session(private=True, now_fn=clock.now)
+        self.pii = _PiiSource(browser.phone, app_slug=None)
+        self.stats = SessionStats()
+        self._action_index = 0
+        origin = f"https://{spec.www_host}"
+        browser.allow_geolocation(origin, True)
+
+    @property
+    def phone(self) -> Phone:
+        return self.browser.phone
+
+    def _scheme(self) -> str:
+        return "https" if self.config.https else "http"
+
+    def _leaks(self, cadence: str) -> list:
+        return [
+            leak
+            for leak in self.spec.leaks_for("web", self.phone.os_name)
+            if leak.cadence == cadence
+        ]
+
+    def _fire_tracker_beacons(self, page_path: str, cadence: str) -> None:
+        """What the page's tag JavaScript does after a load."""
+        page_url = f"{self._scheme()}://{self.spec.www_host}{page_path}"
+        leaks = self._leaks(cadence)
+        repeats = max(1, self.config.beacons_per_action) if cadence == "per_action" else 1
+        for domain in self.config.tracker_domains:
+            party = get_party(domain)
+            base_pairs = [("dl", page_url), ("t", "pageview")]
+            plaintext = False
+            for leak in leaks:
+                if leak.destination == domain:
+                    base_pairs += self.pii.wire_pairs(leak)
+                    plaintext = plaintext or leak.plaintext
+            scheme = _beacon_scheme(plaintext, party.supports_http)
+            for seq in range(repeats):
+                pairs = base_pairs + [("seq", str(seq))]
+                try:
+                    self.browser_session.send_beacon(
+                        f"{scheme}://{party.beacon_host}/collect?{encode_query(pairs)}"
+                    )
+                    self.stats.requests += 1
+                except NetworkError:
+                    pass
+        # First-party leaks ride on a first-party telemetry beacon.
+        first_pairs = []
+        plaintext_first = False
+        for leak in leaks:
+            if leak.destination == FIRST_PARTY_DEST:
+                first_pairs += self.pii.wire_pairs(leak)
+                plaintext_first = plaintext_first or leak.plaintext
+        if first_pairs:
+            scheme = "http" if plaintext_first else self._scheme()
+            try:
+                self.browser_session.send_beacon(
+                    f"{scheme}://{self.spec.www_host}/telemetry?{encode_query(first_pairs)}"
+                )
+                self.stats.requests += 1
+            except NetworkError:
+                pass
+
+    def _load(self, path: str) -> None:
+        url = f"{self._scheme()}://{self.spec.www_host}{path}"
+        try:
+            page = self.browser_session.load_page(url)
+            self.stats.pages += 1
+            self.stats.requests += page.total_requests
+        except NetworkError:
+            pass
+
+    def open_site(self) -> None:
+        self._load("/")
+        self._fire_tracker_beacons("/", cadence="once")
+        self._fire_tracker_beacons("/", cadence="per_action")
+        self.clock.advance(3.0)
+
+    def login(self) -> None:
+        persona = self.phone.persona
+        if persona is None:
+            raise RuntimeError("no persona on phone")
+        self._load("/login")
+        fields = [("login", persona.email), ("password", persona.password)]
+        target = f"{self._scheme()}://{self.spec.www_host}/login"
+        try:
+            self.browser_session.submit_form(target, fields)
+            self.stats.requests += 1
+        except NetworkError:
+            pass
+        # Third-party identity logins (Gigya pattern): the first-party
+        # login page quietly posts credentials to the credential manager.
+        tracker_domains = set(self.config.tracker_domains)
+        by_destination: dict = {}
+        for leak in self._leaks("once"):
+            if leak.destination == FIRST_PARTY_DEST or leak.destination in tracker_domains:
+                continue
+            if leak.pii_type not in (PiiType.PASSWORD, PiiType.EMAIL, PiiType.USERNAME):
+                continue
+            by_destination.setdefault(leak.destination, []).append(leak)
+        for destination, specs in by_destination.items():
+            form = [("loginID", f"acct-{self.spec.slug}-7f21")]
+            for leak in specs:
+                if leak.pii_type == PiiType.PASSWORD:
+                    form.append(("password", persona.password))
+                elif leak.pii_type == PiiType.EMAIL:
+                    form.append(("email", persona.email))
+                else:
+                    form.append(("username", persona.username))
+            host = get_party(destination).beacon_host
+            try:
+                self.browser_session.submit_form(f"https://{host}/accounts/login", form)
+                self.stats.requests += 1
+            except NetworkError:
+                pass
+        self.stats.login_performed = True
+        self.clock.advance(3.0)
+
+    def perform_action(self, action: str) -> None:
+        self._action_index += 1
+        self.stats.actions += 1
+        if action == "search":
+            path = f"/search?q=coffee+shops&page={self._action_index}"
+        else:
+            path = f"/{action}/{self._action_index}"
+        self._load(path)
+        self._fire_tracker_beacons(path, cadence="per_action")
+        self.clock.advance(self.rng.uniform(8.0, 20.0))
+
+    def close(self) -> None:
+        self.browser_session.close()

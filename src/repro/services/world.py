@@ -1,0 +1,92 @@
+"""World assembly: wire every simulated server into one network.
+
+:func:`build_world` constructs the complete measurement environment the
+experiment runner operates in: a shared simulated clock, a network with
+every first-party, third-party, and OS-service host registered, and the
+Meddle-style interception proxy in front of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..device.phone import OS_SERVICE_HOSTS
+from ..http.transport import Network
+from ..net.clock import SimClock
+from ..net.dns import Resolver
+from ..proxy.meddle import InterceptionProxy
+from ..tls.handshake import ServerTlsProfile
+from .catalog import build_catalog
+from .endpoints import FirstPartyHandler
+from .thirdparty import registry
+from .webtracker import OsServiceHandler, handler_for
+
+
+@dataclass
+class World:
+    """Everything a study run needs, fully wired."""
+
+    clock: SimClock
+    network: Network
+    proxy: InterceptionProxy
+    services: list
+    first_party_handlers: dict = field(default_factory=dict)
+    third_party_handlers: dict = field(default_factory=dict)
+
+    def service(self, slug: str):
+        for spec in self.services:
+            if spec.slug == slug:
+                return spec
+        raise KeyError(f"unknown service {slug!r}")
+
+
+def build_world(services: list = None) -> World:
+    """Build the network, proxy, and handlers for a catalog.
+
+    ``services`` defaults to the full 50-service catalog; tests pass
+    narrower lists for speed.
+    """
+    clock = SimClock()
+    network = Network()
+    resolver = Resolver(clock)
+    proxy = InterceptionProxy(network, clock, resolver=resolver)
+
+    if services is None:
+        services = build_catalog()
+
+    third_party_handlers = {}
+    for domain, party in sorted(registry().items()):
+        handler = handler_for(party)
+        third_party_handlers[domain] = handler
+        for host in party.hostnames:
+            network.register(host, handler, tls=ServerTlsProfile.standard(host))
+        # Any other subdomain of the party resolves to the same handler.
+        network.register(f"*.{domain}", handler, tls=ServerTlsProfile.standard(domain))
+
+    first_party_handlers = {}
+    for spec in services:
+        handler = FirstPartyHandler(spec)
+        first_party_handlers[spec.slug] = handler
+        for domain in spec.first_party_domains:
+            pinned = spec.cert_pinned
+            profile = (
+                ServerTlsProfile.pinned(domain)
+                if pinned
+                else ServerTlsProfile.standard(domain)
+            )
+            network.register(domain, handler, tls=profile)
+            network.register(f"*.{domain}", handler, tls=profile)
+
+    os_handler = OsServiceHandler()
+    for hosts in OS_SERVICE_HOSTS.values():
+        for host in hosts:
+            network.register(host, os_handler, tls=ServerTlsProfile.standard(host))
+
+    return World(
+        clock=clock,
+        network=network,
+        proxy=proxy,
+        services=list(services),
+        first_party_handlers=first_party_handlers,
+        third_party_handlers=third_party_handlers,
+    )

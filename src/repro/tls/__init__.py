@@ -1,0 +1,28 @@
+"""Simulated TLS layer: certificates, trust, pinning, interception."""
+
+from .certs import (
+    PROXY_CA,
+    PUBLIC_CA,
+    CaStore,
+    Certificate,
+    CertificateError,
+    PinSet,
+    make_certificate,
+    pin_for,
+)
+from .handshake import HandshakeError, HandshakeResult, ServerTlsProfile, negotiate
+
+__all__ = [
+    "CaStore",
+    "Certificate",
+    "CertificateError",
+    "HandshakeError",
+    "HandshakeResult",
+    "PROXY_CA",
+    "PUBLIC_CA",
+    "PinSet",
+    "ServerTlsProfile",
+    "make_certificate",
+    "negotiate",
+    "pin_for",
+]

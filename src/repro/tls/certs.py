@@ -1,0 +1,120 @@
+"""Certificate and CA-store model for the simulated TLS layer.
+
+Only the properties that drive the study's behaviour are modeled: who
+issued a certificate (so a device can distinguish a real CA from the
+interception proxy's CA), which names it covers (wildcard matching), and
+validity windows on the simulated clock.  There is no actual crypto —
+the security *decisions* (trust, pinning) are what matter here, not the
+math underneath them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class CertificateError(Exception):
+    """Raised when certificate validation fails."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A leaf or CA certificate."""
+
+    subject: str
+    issuer: str
+    names: tuple = ()  # SANs, possibly with "*." wildcards
+    not_before: float = 0.0
+    not_after: float = float("inf")
+    is_ca: bool = False
+    # Stand-in for the public-key fingerprint; pinning compares this.
+    fingerprint: str = ""
+
+    def matches_host(self, hostname: str) -> bool:
+        """True if any SAN covers ``hostname`` (single-label wildcards)."""
+        hostname = hostname.lower()
+        for name in self.names:
+            name = name.lower()
+            if name == hostname:
+                return True
+            if name.startswith("*."):
+                suffix = name[1:]  # ".example.com"
+                if hostname.endswith(suffix) and "." not in hostname[: -len(suffix)]:
+                    return True
+        return False
+
+    def valid_at(self, now: float) -> bool:
+        return self.not_before <= now <= self.not_after
+
+
+def make_certificate(
+    hostname: str,
+    issuer: str,
+    extra_names: Iterable = (),
+    not_before: float = 0.0,
+    not_after: float = float("inf"),
+) -> Certificate:
+    """Issue a leaf certificate for ``hostname`` (plus wildcard sibling)."""
+    names = (hostname, f"*.{hostname}") + tuple(extra_names)
+    return Certificate(
+        subject=f"CN={hostname}",
+        issuer=issuer,
+        names=names,
+        not_before=not_before,
+        not_after=not_after,
+        fingerprint=f"fp:{issuer}:{hostname}",
+    )
+
+
+@dataclass
+class CaStore:
+    """The set of issuer names a device trusts.
+
+    A factory-reset phone trusts the public web PKI (modeled as the
+    single issuer ``"PublicCA"``).  Installing the interception proxy's
+    root — as Meddle's setup instructions require — adds its issuer here.
+    """
+
+    trusted_issuers: set = field(default_factory=lambda: {"PublicCA"})
+
+    def trust(self, issuer: str) -> None:
+        self.trusted_issuers.add(issuer)
+
+    def distrust(self, issuer: str) -> None:
+        self.trusted_issuers.discard(issuer)
+
+    def is_trusted(self, certificate: Certificate) -> bool:
+        return certificate.issuer in self.trusted_issuers
+
+    def validate(self, certificate: Certificate, hostname: str, now: float) -> None:
+        """Full chain check; raises :class:`CertificateError` on failure."""
+        if not self.is_trusted(certificate):
+            raise CertificateError(
+                f"issuer {certificate.issuer!r} not trusted for {hostname}"
+            )
+        if not certificate.matches_host(hostname):
+            raise CertificateError(
+                f"certificate {certificate.subject!r} does not cover {hostname}"
+            )
+        if not certificate.valid_at(now):
+            raise CertificateError(f"certificate for {hostname} expired or not yet valid")
+
+
+@dataclass(frozen=True)
+class PinSet:
+    """An app's certificate pins: accepted public-key fingerprints."""
+
+    fingerprints: frozenset
+
+    def accepts(self, certificate: Certificate) -> bool:
+        return certificate.fingerprint in self.fingerprints
+
+
+def pin_for(hostname: str, issuer: str = "PublicCA") -> PinSet:
+    """Build the pin set an app ships for its legitimate server cert."""
+    return PinSet(fingerprints=frozenset({f"fp:{issuer}:{hostname}"}))
+
+
+PUBLIC_CA = "PublicCA"
+PROXY_CA = "ReproProxyCA"

@@ -1,0 +1,33 @@
+"""EasyList substrate: ABP filters, public-suffix logic, categorization."""
+
+from .abpfilter import Filter, FilterList, FilterOptions, parse_filter
+from .categorize import (
+    FIRST_PARTY,
+    OS_SERVICE,
+    THIRD_PARTY_AA,
+    THIRD_PARTY_OTHER,
+    Categorizer,
+    FlowCategory,
+)
+from .easylist import EASYLIST_TEXT, bundled_easylist
+from .psl import DomainError, domain_key, public_suffix, registrable_domain, same_party
+
+__all__ = [
+    "Categorizer",
+    "DomainError",
+    "EASYLIST_TEXT",
+    "FIRST_PARTY",
+    "Filter",
+    "FilterList",
+    "FilterOptions",
+    "FlowCategory",
+    "OS_SERVICE",
+    "THIRD_PARTY_AA",
+    "THIRD_PARTY_OTHER",
+    "bundled_easylist",
+    "domain_key",
+    "parse_filter",
+    "public_suffix",
+    "registrable_domain",
+    "same_party",
+]

@@ -1,0 +1,113 @@
+"""Flow categorization: first-party, A&A third-party, other third-party.
+
+Implements §3.2 "Domain Categorization": first-party flows are the ones
+whose destination belongs to the service's own domains; the remaining
+third-party flows are labeled advertising & analytics when they match
+EasyList; OS-service flows (tagged by the capture addon or matched by
+hostname) are excluded from analysis entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..net.flow import Flow
+from .abpfilter import FilterList
+from .easylist import bundled_easylist
+from .psl import domain_key
+
+FIRST_PARTY = "first_party"
+THIRD_PARTY_AA = "third_party_aa"
+THIRD_PARTY_OTHER = "third_party_other"
+OS_SERVICE = "os_service"
+
+
+@dataclass(frozen=True)
+class FlowCategory:
+    """Categorization verdict for one flow."""
+
+    label: str
+    domain: str  # registrable domain of the destination
+    matched_rule: Optional[str] = None  # EasyList rule text when A&A
+
+    @property
+    def is_first_party(self) -> bool:
+        return self.label == FIRST_PARTY
+
+    @property
+    def is_aa(self) -> bool:
+        return self.label == THIRD_PARTY_AA
+
+    @property
+    def is_third_party(self) -> bool:
+        return self.label in (THIRD_PARTY_AA, THIRD_PARTY_OTHER)
+
+
+class Categorizer:
+    """Categorizes flows for one service under test.
+
+    ``first_party_domains`` are the registrable domains manually
+    identified as belonging to the service (the paper's weather.com +
+    imwx.com example).  ``sso_domains`` are single-sign-on providers,
+    which the leak policy treats like the first party for credentials.
+    """
+
+    def __init__(
+        self,
+        first_party_domains: Iterable,
+        filter_list: Optional[FilterList] = None,
+        os_service_hosts: Iterable = (),
+        sso_domains: Iterable = (),
+    ) -> None:
+        self.first_party_domains = {domain_key(d) for d in first_party_domains}
+        if not self.first_party_domains:
+            raise ValueError("a service needs at least one first-party domain")
+        self.filter_list = filter_list if filter_list is not None else bundled_easylist()
+        self.os_service_hosts = {h.lower() for h in os_service_hosts}
+        self.sso_domains = {domain_key(d) for d in sso_domains}
+
+    def primary_domain(self) -> str:
+        return sorted(self.first_party_domains)[0]
+
+    def is_first_party_host(self, hostname: str) -> bool:
+        return domain_key(hostname) in self.first_party_domains
+
+    def is_sso_host(self, hostname: str) -> bool:
+        return domain_key(hostname) in self.sso_domains
+
+    def categorize_host(self, hostname: str, url: str = "") -> FlowCategory:
+        """Categorize by destination host (and URL for path rules)."""
+        host = hostname.lower()
+        domain = domain_key(host)
+        if host in self.os_service_hosts:
+            return FlowCategory(label=OS_SERVICE, domain=domain)
+        if domain in self.first_party_domains:
+            return FlowCategory(label=FIRST_PARTY, domain=domain)
+        page_host = self.primary_domain()
+        target = url or f"https://{host}/"
+        rule = self.filter_list.match(target, page_host=page_host)
+        if rule is not None:
+            return FlowCategory(label=THIRD_PARTY_AA, domain=domain, matched_rule=rule.raw)
+        return FlowCategory(label=THIRD_PARTY_OTHER, domain=domain)
+
+    def categorize_flow(self, flow: Flow) -> FlowCategory:
+        """Categorize a captured flow (tags win over hostname matching)."""
+        if "os-service" in flow.tags or "background" in flow.tags:
+            return FlowCategory(label=OS_SERVICE, domain=domain_key(flow.hostname))
+        url = ""
+        if flow.transactions:
+            url = flow.transactions[0].request.url
+        return self.categorize_host(flow.hostname, url=url)
+
+    def split(self, flows: Iterable) -> dict:
+        """Bucket flows by category label."""
+        buckets: dict = {
+            FIRST_PARTY: [],
+            THIRD_PARTY_AA: [],
+            THIRD_PARTY_OTHER: [],
+            OS_SERVICE: [],
+        }
+        for flow in flows:
+            buckets[self.categorize_flow(flow).label].append(flow)
+        return buckets

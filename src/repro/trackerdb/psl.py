@@ -1,0 +1,90 @@
+"""Public-suffix handling and registrable-domain (eTLD+1) extraction.
+
+First/third-party decisions in the study hinge on registrable domains:
+``ads.weather.com`` is first-party to ``weather.com``, while
+``doubleclick.net`` is not.  We embed the slice of the public suffix
+list relevant to the simulated world (common gTLDs and ccTLD second
+levels) rather than shipping the full Mozilla list.
+"""
+
+from __future__ import annotations
+
+# Plain suffixes: a domain label sequence ending in one of these has its
+# registrable domain one label further left.
+_SUFFIXES = {
+    "com", "net", "org", "edu", "gov", "mil", "int", "info", "biz", "io",
+    "co", "tv", "me", "mobi", "app", "dev", "news", "example", "test",
+    "local", "ai", "ly", "fm", "us", "uk", "de", "fr", "jp", "cn", "au",
+    "ca", "in", "br", "ru", "es", "it", "nl", "se", "no",
+    # second-level public suffixes
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au", "org.au",
+    "co.jp", "ne.jp", "or.jp", "com.br", "com.cn", "co.in", "co.nz",
+}
+
+_MAX_SUFFIX_LABELS = max(s.count(".") + 1 for s in _SUFFIXES)
+
+
+class DomainError(ValueError):
+    """Raised for hostnames with no registrable domain (bare suffixes, IPs)."""
+
+
+def is_ip_literal(hostname: str) -> bool:
+    """True for dotted-quad IPv4 literals (no PSL semantics apply)."""
+    parts = hostname.split(".")
+    return len(parts) == 4 and all(p.isdigit() for p in parts)
+
+
+def public_suffix(hostname: str) -> str:
+    """Return the longest matching public suffix of ``hostname``.
+
+    Unknown TLDs fall back to the final label, mirroring the PSL's
+    implicit ``*`` rule.
+    """
+    name = hostname.lower().rstrip(".")
+    labels = name.split(".")
+    for take in range(min(_MAX_SUFFIX_LABELS, len(labels)), 0, -1):
+        candidate = ".".join(labels[-take:])
+        if candidate in _SUFFIXES:
+            return candidate
+    return labels[-1]
+
+
+def registrable_domain(hostname: str) -> str:
+    """Return the eTLD+1 of ``hostname``.
+
+    Raises :class:`DomainError` when the hostname *is* a public suffix
+    or an IP literal — callers treat those as their own party.
+    """
+    name = hostname.lower().rstrip(".")
+    if not name:
+        raise DomainError("empty hostname")
+    if is_ip_literal(name):
+        raise DomainError(f"IP literal has no registrable domain: {name}")
+    suffix = public_suffix(name)
+    if name == suffix:
+        raise DomainError(f"hostname is a bare public suffix: {name}")
+    suffix_labels = suffix.count(".") + 1
+    labels = name.split(".")
+    if len(labels) < suffix_labels + 1:
+        raise DomainError(f"hostname too short for suffix {suffix!r}: {name}")
+    return ".".join(labels[-(suffix_labels + 1) :])
+
+
+def same_party(host_a: str, host_b: str) -> bool:
+    """True when two hostnames share a registrable domain."""
+    try:
+        return registrable_domain(host_a) == registrable_domain(host_b)
+    except DomainError:
+        return host_a.lower() == host_b.lower()
+
+
+def domain_key(hostname: str) -> str:
+    """Registrable domain, falling back to the raw host for odd names.
+
+    This is the grouping key the analysis uses everywhere a "domain" is
+    counted (Table 2 groups A&A recipients by registrable domain).
+    """
+    try:
+        return registrable_domain(hostname)
+    except DomainError:
+        return hostname.lower().rstrip(".")

@@ -1,0 +1,148 @@
+"""Tests for body codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.http.body import (
+    BodyError,
+    decode_body,
+    decode_form,
+    decode_json,
+    decode_multipart,
+    encode_form,
+    encode_json,
+    encode_multipart,
+    flatten_json,
+    gzip_compress,
+    gzip_decompress,
+    multipart_content_type,
+    parse_multipart_boundary,
+)
+
+json_values = st.recursive(
+    st.one_of(st.none(), st.booleans(), st.integers(), st.text(max_size=10)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(min_size=1, max_size=6), children, max_size=4),
+    ),
+    max_leaves=15,
+)
+
+
+class TestForm:
+    def test_roundtrip(self):
+        pairs = [("email", "a@b.c"), ("q", "x y&z")]
+        assert decode_form(encode_form(pairs)) == pairs
+
+    @given(st.lists(st.tuples(st.text(min_size=1, max_size=8), st.text(max_size=8)), max_size=8))
+    def test_roundtrip_property(self, pairs):
+        assert decode_form(encode_form(pairs)) == pairs
+
+
+class TestJson:
+    def test_roundtrip(self):
+        payload = {"a": 1, "b": [1, 2], "c": {"d": None}}
+        assert decode_json(encode_json(payload)) == payload
+
+    def test_stable_output(self):
+        assert encode_json({"b": 1, "a": 2}) == b'{"a":2,"b":1}'
+
+    def test_decode_invalid_returns_none(self):
+        assert decode_json(b"{nope") is None
+        assert decode_json(b"\xff\xfe") is None
+
+    def test_encode_rejects_unserializable(self):
+        with pytest.raises(BodyError):
+            encode_json(object())
+
+    @given(json_values)
+    def test_roundtrip_property(self, payload):
+        assert decode_json(encode_json(payload)) == payload
+
+
+class TestFlatten:
+    def test_nested_dict(self):
+        assert flatten_json({"user": {"email": "x"}}) == [("user.email", "x")]
+
+    def test_list_indexing(self):
+        assert flatten_json({"ids": [7, 8]}) == [("ids[0]", "7"), ("ids[1]", "8")]
+
+    def test_none_becomes_empty(self):
+        assert flatten_json({"k": None}) == [("k", "")]
+
+    def test_scalar_root(self):
+        assert flatten_json("v") == [("", "v")]
+
+    @given(json_values)
+    def test_all_leaves_are_strings(self, payload):
+        for key, value in flatten_json(payload):
+            assert isinstance(key, str)
+            assert isinstance(value, str)
+
+
+class TestMultipart:
+    def test_roundtrip(self):
+        fields = [("name", "Alice"), ("bio", "line1\nline2")]
+        body = encode_multipart(fields, "BOUND123")
+        assert decode_multipart(body, "BOUND123") == fields
+
+    def test_boundary_validation(self):
+        with pytest.raises(BodyError):
+            encode_multipart([], "has space")
+        with pytest.raises(BodyError):
+            encode_multipart([], "")
+
+    def test_content_type_and_boundary_extraction(self):
+        content_type = multipart_content_type("xyz")
+        assert parse_multipart_boundary(content_type) == "xyz"
+        assert parse_multipart_boundary('multipart/form-data; boundary="q"') == "q"
+        assert parse_multipart_boundary("text/plain") is None
+
+    def test_decode_tolerates_garbage(self):
+        assert decode_multipart(b"random bytes", "B") == []
+
+
+class TestGzip:
+    def test_roundtrip(self):
+        assert gzip_decompress(gzip_compress(b"payload")) == b"payload"
+
+    def test_deterministic(self):
+        assert gzip_compress(b"x") == gzip_compress(b"x")
+
+    def test_decompress_invalid_returns_none(self):
+        assert gzip_decompress(b"not gzip") is None
+
+
+class TestDecodeBody:
+    def test_form(self):
+        decoded = decode_body(b"a=1&b=2", "application/x-www-form-urlencoded")
+        assert decoded["pairs"] == [("a", "1"), ("b", "2")]
+
+    def test_json_flattened(self):
+        decoded = decode_body(b'{"u":{"e":"x"}}', "application/json")
+        assert ("u.e", "x") in decoded["pairs"]
+        assert decoded["json"] == {"u": {"e": "x"}}
+
+    def test_json_suffix_content_type(self):
+        decoded = decode_body(b'{"a":1}', "application/vnd.api+json")
+        assert decoded["json"] == {"a": 1}
+
+    def test_gzip_content_encoding(self):
+        raw = encode_json({"k": "v"})
+        decoded = decode_body(gzip_compress(raw), "application/json", "gzip")
+        assert decoded["json"] == {"k": "v"}
+
+    def test_multipart(self):
+        body = encode_multipart([("f", "v")], "BB")
+        decoded = decode_body(body, multipart_content_type("BB"))
+        assert decoded["pairs"] == [("f", "v")]
+
+    def test_opaque_content_never_raises(self):
+        decoded = decode_body(bytes(range(256)), "application/octet-stream")
+        assert decoded["pairs"] == []
+        assert isinstance(decoded["text"], str)
+
+    def test_unparsable_json_falls_back_to_raw(self):
+        decoded = decode_body(b"{bad json", "application/json")
+        assert decoded["json"] is None
+        assert decoded["pairs"] == []

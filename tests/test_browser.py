@@ -1,0 +1,179 @@
+"""Tests for the browser engine: resource extraction, caching, privacy."""
+
+import random
+
+import pytest
+
+from repro.device.browser import Browser, extract_resources
+from repro.device.persona import generate_persona
+from repro.device.phone import Phone, PhoneSpec
+from repro.http.message import Response
+from repro.http.transport import Network
+from repro.tls.handshake import ServerTlsProfile
+
+
+class TestExtractResources:
+    def test_script_img_iframe_link(self):
+        html = """
+        <html><head>
+          <script src="https://t.example/tag.js"></script>
+          <link rel="stylesheet" href="/style.css">
+        </head><body>
+          <img src="/a.jpg"> <iframe src="https://ads.example/frame"></iframe>
+        </body></html>
+        """
+        resources = extract_resources(html)
+        assert ("script", "https://t.example/tag.js") in resources
+        assert ("link", "/style.css") in resources
+        assert ("img", "/a.jpg") in resources
+        assert ("iframe", "https://ads.example/frame") in resources
+
+    def test_skips_data_and_js_urls(self):
+        html = '<img src="data:image/gif;base64,xyz"><script src="javascript:void(0)"></script>'
+        assert extract_resources(html) == []
+
+    def test_skips_fragments(self):
+        assert extract_resources('<a href="#top"><img src="#x">') == []
+
+    def test_case_insensitive_tags(self):
+        assert extract_resources('<IMG SRC="/x.png">') == [("img", "/x.png")]
+
+    def test_single_quotes(self):
+        assert extract_resources("<img src='/y.png'>") == [("img", "/y.png")]
+
+    def test_document_order_preserved(self):
+        html = '<img src="/1"><img src="/2"><img src="/3">'
+        assert [r for _, r in extract_resources(html)] == ["/1", "/2", "/3"]
+
+
+class PageServer:
+    """Serves one page with configurable resources."""
+
+    def __init__(self, html: bytes) -> None:
+        self.html = html
+        self.paths = []
+
+    def handle(self, request):
+        self.paths.append(request.url.path)
+        if request.url.path == "/":
+            return Response.build(200, self.html, "text/html")
+        return Response.build(200, b"res", "image/jpeg")
+
+
+def browser_world(html: bytes):
+    network = Network()
+    server = PageServer(html)
+    network.register("site.example", server, tls=ServerTlsProfile.standard("site.example"))
+    phone = Phone(PhoneSpec.iphone5(), network, random.Random(1))
+    phone.sign_in(generate_persona(random.Random(1)))
+    return Browser(phone), server
+
+
+class TestBrowserSession:
+    def test_page_load_fetches_resources(self):
+        browser, server = browser_world(b'<html><img src="/a.jpg"><img src="/b.jpg"></html>')
+        with browser.session() as session:
+            page = session.load_page("https://site.example/")
+        assert len(page.resources) == 2
+        assert set(server.paths) == {"/", "/a.jpg", "/b.jpg"}
+
+    def test_cache_prevents_refetch(self):
+        browser, server = browser_world(b'<html><img src="/a.jpg"></html>')
+        with browser.session() as session:
+            session.load_page("https://site.example/")
+            session.load_page("https://site.example/")
+            assert session.cache_hits >= 1
+        assert server.paths.count("/a.jpg") == 1
+
+    def test_failed_resource_recorded_not_fatal(self):
+        browser, _ = browser_world(b'<html><img src="https://nowhere.example/x.jpg"></html>')
+        with browser.session() as session:
+            page = session.load_page("https://site.example/")
+        assert len(page.failures) == 1
+
+    def test_non_html_has_no_resources(self):
+        network = Network()
+
+        class Json:
+            def handle(self, request):
+                return Response.build(200, b'{"a":1}', "application/json")
+
+        network.register("api.example", Json(), tls=ServerTlsProfile.standard("api.example"))
+        phone = Phone(PhoneSpec.iphone5(), network, random.Random(1))
+        browser = Browser(phone)
+        with browser.session() as session:
+            page = session.load_page("https://api.example/data")
+        assert page.resources == []
+
+    def test_iframe_recursion_depth_limited(self):
+        network = Network()
+
+        class Nest:
+            def handle(self, request):
+                return Response.build(200, b'<html><iframe src="/deeper"></iframe></html>', "text/html")
+
+        network.register("nest.example", Nest(), tls=ServerTlsProfile.standard("nest.example"))
+        phone = Phone(PhoneSpec.iphone5(), network, random.Random(1))
+        with Browser(phone).session() as session:
+            page = session.load_page("https://nest.example/")
+        depth = 0
+        node = page
+        while node.subpages:
+            node = node.subpages[0]
+            depth += 1
+        assert depth == 3  # MAX_IFRAME_DEPTH
+
+    def test_private_mode_discards_cookies(self):
+        network = Network()
+
+        class Setter:
+            def handle(self, request):
+                response = Response.build(200, b"<html></html>", "text/html")
+                response.headers.add("Set-Cookie", "sid=1")
+                return response
+
+        network.register("s.example", Setter(), tls=ServerTlsProfile.standard("s.example"))
+        phone = Phone(PhoneSpec.iphone5(), network, random.Random(1))
+        browser = Browser(phone)
+        with browser.session(private=True) as session:
+            session.load_page("https://s.example/")
+            assert len(session.client.cookie_jar) == 1
+        assert len(browser.cookie_jar) == 0  # persistent jar untouched
+
+    def test_normal_mode_uses_persistent_jar(self):
+        network = Network()
+
+        class Setter:
+            def handle(self, request):
+                response = Response.build(200, b"<html></html>", "text/html")
+                response.headers.add("Set-Cookie", "sid=1")
+                return response
+
+        network.register("s.example", Setter(), tls=ServerTlsProfile.standard("s.example"))
+        phone = Phone(PhoneSpec.iphone5(), network, random.Random(1))
+        browser = Browser(phone)
+        with browser.session(private=False) as session:
+            session.load_page("https://s.example/")
+        assert len(browser.cookie_jar) == 1
+        browser.clear_state()
+        assert len(browser.cookie_jar) == 0
+
+    def test_geolocation_gated_by_prompt(self):
+        browser, _ = browser_world(b"<html></html>")
+        origin = "https://site.example"
+        assert browser.geolocation(origin) is None
+        browser.allow_geolocation(origin)
+        fix = browser.geolocation(origin)
+        assert fix == (browser.phone.persona.latitude, browser.phone.persona.longitude)
+
+    def test_geolocation_denied(self):
+        browser, _ = browser_world(b"<html></html>")
+        browser.allow_geolocation("https://site.example", allow=False)
+        assert browser.geolocation("https://site.example") is None
+
+    def test_browser_name_matches_platform(self):
+        network = Network()
+        ios = Browser(Phone(PhoneSpec.iphone5(), network, random.Random(1)))
+        android = Browser(Phone(PhoneSpec.nexus5(), network, random.Random(1)))
+        assert ios.name == "safari"
+        assert android.name == "chrome"

@@ -1,0 +1,189 @@
+"""Catalog calibration tests: the paper's published constraints.
+
+These verify — statically, from the leak specs — that the world model
+encodes the quantities the paper reports, so a catalog edit that drifts
+from the calibration fails fast without running traffic.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.pii.types import PiiType
+from repro.services.catalog import build_catalog, rows
+from repro.services.service import FIRST_PARTY_DEST
+
+CATEGORY_SIZES = {
+    "Business": 2, "Education": 4, "Entertainment": 6, "Lifestyle": 6,
+    "Music": 4, "News": 2, "Shopping": 9, "Social": 2, "Travel": 12, "Weather": 3,
+}
+
+# Table 3: services leaking each type via app / both media / web.
+TABLE3_SERVICE_COUNTS = {
+    PiiType.LOCATION: (30, 21, 26),
+    PiiType.NAME: (9, 8, 16),
+    PiiType.UNIQUE_ID: (40, 0, 0),
+    PiiType.USERNAME: (3, 1, 5),
+    PiiType.GENDER: (4, 1, 8),
+    PiiType.PHONE: (3, 1, 2),
+    PiiType.EMAIL: (11, 3, 8),
+    PiiType.DEVICE_INFO: (15, 0, 0),
+    PiiType.PASSWORD: (4, 2, 3),
+    PiiType.BIRTHDAY: (1, 0, 1),
+}
+
+
+def media_types(spec, medium, os_name=None):
+    oses = (os_name,) if os_name else spec.oses
+    out = set()
+    for osn in oses:
+        if osn not in spec.oses:
+            continue
+        for leak in spec.leaks_for(medium, osn):
+            out.add(leak.pii_type)
+    return out
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog()
+
+
+class TestCatalogShape:
+    def test_fifty_services(self, catalog):
+        assert len(catalog) == 50
+
+    def test_category_sizes(self, catalog):
+        assert Counter(s.category for s in catalog) == CATEGORY_SIZES
+
+    def test_unique_slugs_and_domains(self, catalog):
+        assert len({s.slug for s in catalog}) == 50
+        assert len({s.domain for s in catalog}) == 50
+
+    def test_two_ios_only_services(self, catalog):
+        ios_only = [s for s in catalog if s.oses == ("ios",)]
+        assert len(ios_only) == 2  # 48 tested on Android, 50 on iOS
+
+    def test_paper_anecdote_services_present(self, catalog):
+        slugs = {s.slug for s in catalog}
+        for expected in ("weather", "yelp", "bbc", "grubhub", "jetblue",
+                         "foodnetwork", "ncaa", "priceline", "accuweather"):
+            assert expected in slugs
+
+    def test_every_leak_destination_resolvable(self, catalog):
+        from repro.services.thirdparty import registry
+
+        known = set(registry())
+        for spec in catalog:
+            for leak in spec.leaks:
+                assert leak.destination == FIRST_PARTY_DEST or leak.destination in known
+
+
+class TestPaperQuotas:
+    def test_table3_service_counts(self, catalog):
+        """Every row of Table 3's '# of Services' columns, exactly."""
+        for pii_type, (app_n, both_n, web_n) in TABLE3_SERVICE_COUNTS.items():
+            app = {s.slug for s in catalog if pii_type in media_types(s, "app")}
+            web = {s.slug for s in catalog if pii_type in media_types(s, "web")}
+            assert len(app) == app_n, f"{pii_type}: app {len(app)} != {app_n}"
+            assert len(web) == web_n, f"{pii_type}: web {len(web)} != {web_n}"
+            assert len(app & web) == both_n, f"{pii_type}: common {len(app & web)} != {both_n}"
+
+    def test_overall_leak_rates(self, catalog):
+        """Table 1: 92% of apps leak, 78% of web sites leak."""
+        app_leakers = sum(1 for s in catalog if media_types(s, "app"))
+        web_leakers = sum(1 for s in catalog if media_types(s, "web"))
+        assert app_leakers == 46
+        assert web_leakers == 39
+
+    def test_per_os_leak_counts(self, catalog):
+        """Table 1's OS rows: 41/48 Android app, 43/50 iOS app,
+        25/48 Android web, 38/50 iOS web."""
+        counts = {}
+        for os_name in ("android", "ios"):
+            tested = [s for s in catalog if os_name in s.oses]
+            counts[(os_name, "tested")] = len(tested)
+            for medium in ("app", "web"):
+                counts[(os_name, medium)] = sum(
+                    1 for s in tested if media_types(s, medium, os_name)
+                )
+        assert counts[("android", "tested")] == 48
+        assert counts[("ios", "tested")] == 50
+        assert counts[("android", "app")] == 41
+        assert counts[("ios", "app")] == 43
+        assert counts[("android", "web")] == 25
+        assert counts[("ios", "web")] == 38
+
+    def test_category_leak_rates(self, catalog):
+        """Table 1's per-category leak percentages."""
+        expected = {
+            "Business": (2, 1), "Education": (3, 2), "Entertainment": (4, 3),
+            "Lifestyle": (6, 6), "Music": (4, 2), "News": (2, 2),
+            "Shopping": (9, 7), "Social": (2, 2), "Travel": (11, 11),
+            "Weather": (3, 3),
+        }
+        for category, (app_n, web_n) in expected.items():
+            members = [s for s in catalog if s.category == category]
+            assert sum(1 for s in members if media_types(s, "app")) == app_n, category
+            assert sum(1 for s in members if media_types(s, "web")) == web_n, category
+
+    def test_device_bound_types_never_on_web(self, catalog):
+        for spec in catalog:
+            web = media_types(spec, "web")
+            assert PiiType.UNIQUE_ID not in web
+            assert PiiType.DEVICE_INFO not in web
+
+    def test_password_routes_match_anecdotes(self, catalog):
+        by_slug = {s.slug: s for s in catalog}
+        routes = {}
+        for slug in ("grubhub", "jetblue", "foodnetwork", "ncaa"):
+            spec = by_slug[slug]
+            destinations = {
+                leak.destination
+                for leak in spec.leaks
+                if leak.pii_type == PiiType.PASSWORD and "app" in leak.media
+            }
+            routes[slug] = destinations
+        assert routes["grubhub"] == {"taplytics.com"}
+        assert routes["jetblue"] == {"usablenet.com"}
+        assert routes["foodnetwork"] == {"gigya.com"}
+        assert routes["ncaa"] == {"gigya.com"}
+
+    def test_priceline_birthday_gender_web_only(self, catalog):
+        priceline = next(s for s in catalog if s.slug == "priceline")
+        web = media_types(priceline, "web")
+        app = media_types(priceline, "app")
+        assert PiiType.BIRTHDAY in web and PiiType.GENDER in web
+        assert PiiType.BIRTHDAY not in app and PiiType.GENDER not in app
+
+    def test_amobee_used_by_exactly_one_service(self, catalog):
+        users = [
+            s.slug for s in catalog if "amobee.com" in s.app.sdk_domains
+            or "amobee.com" in s.web.tracker_domains
+        ]
+        assert len(set(users)) == 1  # Table 2: amobee has 1 service
+
+    def test_facebook_and_ga_pervasive(self, catalog):
+        """Table 2: google-analytics and facebook are the most-embedded."""
+        fb_apps = sum(1 for s in catalog if "facebook.com" in s.app.sdk_domains)
+        ga_apps = sum(1 for s in catalog if "google-analytics.com" in s.app.sdk_domains)
+        assert fb_apps >= 35
+        assert ga_apps >= 33
+
+    def test_phone_number_web_leak_single_os(self, catalog):
+        """'Phone number is the sole exception' to cross-browser parity."""
+        web_phone = [
+            (s, leak)
+            for s in catalog
+            for leak in s.leaks
+            if leak.pii_type == PiiType.PHONE and "web" in leak.media
+        ]
+        single_os = [s.slug for s, leak in web_phone if len(leak.oses) == 1]
+        assert single_os  # at least one web phone leak is OS-specific
+
+    def test_plaintext_leaks_exist(self, catalog):
+        plain = [s.slug for s in catalog for leak in s.leaks if leak.plaintext]
+        assert "weather" in plain  # weather APIs over HTTP in 2016
+
+    def test_rows_accessor(self):
+        assert len(rows()) == 50

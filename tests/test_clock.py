@@ -1,0 +1,69 @@
+"""Tests for the simulated clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.clock import ClockError, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(start=12.5).now() == 12.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock(start=-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance(3.0)
+        clock.advance(0.5)
+        assert clock.now() == 3.5
+
+    def test_advance_zero_is_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now() == 0.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+    def test_sleep_is_advance(self):
+        clock = SimClock()
+        clock.sleep(7.0)
+        assert clock.now() == 7.0
+
+    def test_deadline_and_expired(self):
+        clock = SimClock()
+        deadline = clock.deadline(10.0)
+        assert not clock.expired(deadline)
+        clock.advance(9.999)
+        assert not clock.expired(deadline)
+        clock.advance(0.001)
+        assert clock.expired(deadline)
+
+    def test_deadline_rejects_negative(self):
+        with pytest.raises(ClockError):
+            SimClock().deadline(-5)
+
+    def test_expired_at_exact_boundary(self):
+        clock = SimClock(start=10.0)
+        assert clock.expired(10.0)
+
+    def test_repr_contains_time(self):
+        clock = SimClock(start=1.5)
+        assert "1.500" in repr(clock)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=50))
+    def test_monotonic_under_any_advances(self, steps):
+        clock = SimClock()
+        last = clock.now()
+        for step in steps:
+            clock.advance(step)
+            assert clock.now() >= last
+            last = clock.now()

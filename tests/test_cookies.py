@@ -1,0 +1,140 @@
+"""Tests for cookie parsing and the cookie jar."""
+
+import pytest
+
+from repro.http.cookies import (
+    Cookie,
+    CookieError,
+    CookieJar,
+    format_cookie_header,
+    format_set_cookie,
+    parse_cookie_header,
+    parse_set_cookie,
+)
+
+
+class TestCookieHeader:
+    def test_parse_pairs(self):
+        assert parse_cookie_header("a=1; b=2") == [("a", "1"), ("b", "2")]
+
+    def test_parse_skips_malformed_crumbs(self):
+        assert parse_cookie_header("a=1; garbage; b=2") == [("a", "1"), ("b", "2")]
+
+    def test_format(self):
+        assert format_cookie_header([("a", "1"), ("b", "2")]) == "a=1; b=2"
+
+
+class TestSetCookie:
+    def test_minimal(self):
+        cookie = parse_set_cookie("uid=xyz", "tracker.example")
+        assert cookie.name == "uid"
+        assert cookie.value == "xyz"
+        assert cookie.domain == "tracker.example"
+        assert cookie.host_only
+
+    def test_domain_attribute_widens_scope(self):
+        cookie = parse_set_cookie("uid=x; Domain=.example.com", "sub.example.com")
+        assert cookie.domain == "example.com"
+        assert not cookie.host_only
+
+    def test_path_secure_httponly(self):
+        cookie = parse_set_cookie("a=1; Path=/sub; Secure; HttpOnly", "e.com")
+        assert cookie.path == "/sub"
+        assert cookie.secure
+        assert cookie.http_only
+
+    def test_max_age_sets_expiry_from_now(self):
+        cookie = parse_set_cookie("a=1; Max-Age=100", "e.com", now=50.0)
+        assert cookie.expires == 150.0
+
+    def test_max_age_wins_over_expires(self):
+        cookie = parse_set_cookie("a=1; Expires=t=10; Max-Age=5", "e.com", now=0.0)
+        assert cookie.expires == 5.0
+
+    def test_invalid_max_age_ignored(self):
+        cookie = parse_set_cookie("a=1; Max-Age=soon", "e.com")
+        assert cookie.expires is None
+
+    def test_no_name_value_rejected(self):
+        with pytest.raises(CookieError):
+            parse_set_cookie("; Secure", "e.com")
+
+    def test_format_roundtrip(self):
+        cookie = parse_set_cookie("a=1; Domain=e.com; Path=/p; Max-Age=10; Secure", "www.e.com", now=0)
+        again = parse_set_cookie(format_set_cookie(cookie), "www.e.com", now=0)
+        assert again.name == cookie.name
+        assert again.domain == cookie.domain
+        assert again.path == cookie.path
+        assert again.secure == cookie.secure
+
+
+class TestMatching:
+    def test_host_only_exact(self):
+        cookie = Cookie("a", "1", domain="e.com", host_only=True)
+        assert cookie.domain_matches("e.com")
+        assert not cookie.domain_matches("sub.e.com")
+
+    def test_domain_cookie_matches_subdomains(self):
+        cookie = Cookie("a", "1", domain="e.com", host_only=False)
+        assert cookie.domain_matches("sub.e.com")
+        assert cookie.domain_matches("e.com")
+        assert not cookie.domain_matches("note.com")
+
+    def test_path_match_semantics(self):
+        cookie = Cookie("a", "1", domain="e.com", path="/sub")
+        assert cookie.path_matches("/sub")
+        assert cookie.path_matches("/sub/page")
+        assert not cookie.path_matches("/subpage")
+        assert not cookie.path_matches("/")
+
+
+class TestCookieJar:
+    def test_store_and_send(self):
+        jar = CookieJar()
+        jar.store(Cookie("uid", "x1", domain="tracker.example"))
+        assert jar.cookie_header("tracker.example") == "uid=x1"
+
+    def test_same_key_replaces(self):
+        jar = CookieJar()
+        jar.store(Cookie("uid", "old", domain="e.com"))
+        jar.store(Cookie("uid", "new", domain="e.com"))
+        assert len(jar) == 1
+        assert jar.cookie_header("e.com") == "uid=new"
+
+    def test_secure_cookie_not_sent_over_http(self):
+        jar = CookieJar()
+        jar.store(Cookie("s", "1", domain="e.com", secure=True))
+        assert jar.cookie_header("e.com", secure=False) == ""
+        assert jar.cookie_header("e.com", secure=True) == "s=1"
+
+    def test_expired_cookie_evicted(self):
+        jar = CookieJar()
+        jar.store(Cookie("t", "1", domain="e.com", expires=10.0))
+        assert jar.cookie_header("e.com", now=5.0) == "t=1"
+        assert jar.cookie_header("e.com", now=10.0) == ""
+        assert len(jar) == 0  # evicted, not just hidden
+
+    def test_store_from_response(self):
+        jar = CookieJar()
+        stored = jar.store_from_response(["a=1", "b=2; Path=/x", "bad"], "e.com")
+        assert stored == 2
+        assert jar.cookie_header("e.com", "/x") == "b=2; a=1" or jar.cookie_header("e.com", "/x")
+
+    def test_longer_path_sorted_first(self):
+        jar = CookieJar()
+        jar.store(Cookie("root", "1", domain="e.com", path="/"))
+        jar.store(Cookie("deep", "2", domain="e.com", path="/a/b"))
+        assert jar.cookie_header("e.com", "/a/b") == "deep=2; root=1"
+
+    def test_clear(self):
+        jar = CookieJar()
+        jar.store(Cookie("a", "1", domain="e.com"))
+        jar.clear()
+        assert len(jar) == 0
+
+    def test_domain_isolation(self):
+        jar = CookieJar()
+        jar.store(Cookie("a", "1", domain="one.com"))
+        jar.store(Cookie("b", "2", domain="two.com"))
+        assert jar.cookie_header("one.com") == "a=1"
+        assert jar.cookie_header("two.com") == "b=2"

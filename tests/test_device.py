@@ -1,0 +1,265 @@
+"""Tests for identifiers, personas, and the phone state machine."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.device.identifiers import (
+    generate_ad_id,
+    generate_android_id,
+    generate_imei,
+    generate_serial,
+    generate_wifi_mac,
+    is_valid_ad_id,
+    is_valid_imei,
+    luhn_check_digit,
+)
+from repro.device.persona import Persona, generate_persona
+from repro.device.phone import ANDROID, IOS, DeviceError, Permission, Phone, PhoneSpec
+from repro.http.transport import Network
+from repro.net.inet import is_valid_mac
+from repro.pii.types import PiiType
+
+
+class TestLuhn:
+    def test_known_check_digit(self):
+        # 4992739871 -> check digit 6 (classic Luhn example)
+        assert luhn_check_digit("4992739871") == 6
+
+    def test_rejects_non_digits(self):
+        with pytest.raises(ValueError):
+            luhn_check_digit("12a4")
+
+    @given(st.text(alphabet="0123456789", min_size=1, max_size=20))
+    def test_check_digit_validates(self, digits):
+        check = luhn_check_digit(digits)
+        total = digits + str(check)
+        # Appending the check digit makes the Luhn sum divisible by 10.
+        assert luhn_check_digit(total[:-1]) == int(total[-1])
+
+
+class TestIdentifiers:
+    def test_imei_valid_and_model_prefixed(self):
+        rng = random.Random(5)
+        imei = generate_imei(rng, "Nexus 5")
+        assert is_valid_imei(imei)
+        assert imei.startswith("35824005")
+
+    def test_imei_unknown_model_uses_default_tac(self):
+        assert is_valid_imei(generate_imei(random.Random(0), "Unknown Phone"))
+
+    def test_is_valid_imei_rejects(self):
+        assert not is_valid_imei("123")
+        assert not is_valid_imei("35824005123456X")
+        good = generate_imei(random.Random(1))
+        # flip the check digit
+        bad = good[:-1] + str((int(good[-1]) + 1) % 10)
+        assert not is_valid_imei(bad)
+
+    def test_android_id_shape(self):
+        value = generate_android_id(random.Random(2))
+        assert len(value) == 16
+        int(value, 16)
+
+    def test_ad_id_uuid_shape(self):
+        value = generate_ad_id(random.Random(3))
+        assert is_valid_ad_id(value)
+        assert not is_valid_ad_id("not-a-uuid")
+        assert not is_valid_ad_id("00000000-0000-0000-0000-00000000000g")
+
+    def test_serial_alphanumeric(self):
+        serial = generate_serial(random.Random(4))
+        assert len(serial) == 8
+
+    def test_wifi_mac_platform_prefix(self):
+        ios_mac = generate_wifi_mac(random.Random(5), "ios")
+        android_mac = generate_wifi_mac(random.Random(5), "android")
+        assert is_valid_mac(ios_mac) and is_valid_mac(android_mac)
+        assert ios_mac.startswith("60:fa:cd")
+        assert android_mac.startswith("ac:22:0b")
+
+
+class TestPersona:
+    def test_generation_deterministic(self):
+        a = generate_persona(random.Random(9))
+        b = generate_persona(random.Random(9))
+        assert a == b
+
+    def test_ground_truth_covers_profile_types(self):
+        persona = generate_persona(random.Random(1))
+        truth = persona.ground_truth()
+        assert truth[PiiType.EMAIL] == [persona.email]
+        assert persona.zip_code in truth[PiiType.LOCATION]
+        assert persona.first_name in truth[PiiType.NAME]
+        assert truth[PiiType.PASSWORD] == [persona.password]
+
+    def test_fresh_account_changes_credentials_only(self):
+        base = generate_persona(random.Random(1))
+        account = base.fresh_account("yelp", random.Random(2))
+        assert account.email != base.email
+        assert account.password != base.password
+        assert account.first_name == base.first_name
+        assert account.birthday == base.birthday
+
+    def test_username_not_substring_of_email(self):
+        """Prevents a leaked email from also matching as a username."""
+        base = generate_persona(random.Random(1))
+        account = base.fresh_account("yelp", random.Random(2))
+        assert account.username not in account.email
+
+    def test_name_not_in_credentials(self):
+        base = generate_persona(random.Random(1))
+        account = base.fresh_account("yelp", random.Random(2))
+        for value in (account.username, account.email, account.password):
+            assert base.first_name.lower() not in value.lower()
+
+    def test_boston_area_coordinates(self):
+        persona = generate_persona(random.Random(3))
+        assert 42.2 < persona.latitude < 42.5
+        assert -71.2 < persona.longitude < -70.9
+
+
+class TestPhone:
+    def _phone(self, spec=None):
+        return Phone(spec or PhoneSpec.nexus5(), Network(), random.Random(7))
+
+    def test_specs(self):
+        assert PhoneSpec.nexus4().os_name == ANDROID
+        assert PhoneSpec.iphone5().os_name == IOS
+        assert PhoneSpec.iphone5().os_version == "9.3.1"
+
+    def test_hardware_ids_survive_reset(self):
+        phone = self._phone()
+        imei, mac = phone.imei, phone.wifi_mac
+        ad_id = phone.ad_id
+        phone.factory_reset()
+        assert phone.imei == imei
+        assert phone.wifi_mac == mac
+        assert phone.ad_id != ad_id  # advertising ID regenerates
+
+    def test_reset_clears_apps_and_trust(self):
+        phone = self._phone()
+        phone.install_app("yelp")
+        phone.ca_store.trust("EvilCA")
+        phone.factory_reset()
+        assert not phone.is_installed("yelp")
+        assert "EvilCA" not in phone.ca_store.trusted_issuers
+
+    def test_android_has_android_id_ios_does_not(self):
+        android = self._phone()
+        ios = self._phone(PhoneSpec.iphone5())
+        assert android.android_id
+        assert ios.android_id == ""
+
+    def test_permission_flow(self):
+        phone = self._phone()
+        phone.install_app("yelp")
+        assert not phone.has_permission("yelp", Permission.LOCATION)
+        phone.request_permission("yelp", Permission.LOCATION)
+        assert phone.has_permission("yelp", Permission.LOCATION)
+
+    def test_permission_denied(self):
+        phone = self._phone()
+        phone.install_app("yelp")
+        assert phone.request_permission("yelp", Permission.LOCATION, grant=False) is False
+        assert not phone.has_permission("yelp", Permission.LOCATION)
+
+    def test_permission_requires_installed_app(self):
+        with pytest.raises(DeviceError):
+            self._phone().request_permission("ghost", Permission.LOCATION)
+
+    def test_unknown_permission_rejected(self):
+        phone = self._phone()
+        phone.install_app("yelp")
+        with pytest.raises(DeviceError):
+            phone.request_permission("yelp", "xray-vision")
+
+    def test_uninstall_revokes_permissions(self):
+        phone = self._phone()
+        phone.install_app("yelp")
+        phone.request_permission("yelp", Permission.LOCATION)
+        phone.uninstall_app("yelp")
+        assert not phone.has_permission("yelp", Permission.LOCATION)
+
+    def test_gps_requires_permission_for_apps(self):
+        phone = self._phone()
+        phone.sign_in(generate_persona(random.Random(1)))
+        phone.install_app("yelp")
+        with pytest.raises(DeviceError):
+            phone.read_gps("yelp")
+        phone.request_permission("yelp", Permission.LOCATION)
+        lat, lon = phone.read_gps("yelp")
+        assert lat == phone.persona.latitude
+
+    def test_gps_requires_persona(self):
+        with pytest.raises(DeviceError):
+            self._phone().read_gps()
+
+    def test_imei_requires_phone_state(self):
+        phone = self._phone()
+        phone.install_app("yelp")
+        with pytest.raises(DeviceError):
+            phone.read_imei("yelp")
+        phone.request_permission("yelp", Permission.PHONE_STATE)
+        assert phone.read_imei("yelp") == phone.imei
+
+    def test_ground_truth_device_bound(self):
+        phone = self._phone()
+        truth = phone.ground_truth()
+        assert phone.imei in truth[PiiType.UNIQUE_ID]
+        assert phone.ad_id in truth[PiiType.UNIQUE_ID]
+        # Bare model string must NOT be searchable (UA false positives).
+        assert "Nexus 5" not in truth[PiiType.DEVICE_INFO]
+        assert phone.device_name in truth[PiiType.DEVICE_INFO]
+
+    def test_ground_truth_includes_persona_when_signed_in(self):
+        phone = self._phone()
+        phone.sign_in(generate_persona(random.Random(1)))
+        truth = phone.ground_truth()
+        assert PiiType.EMAIL in truth
+
+    def test_vpn_attachment_installs_proxy_ca(self, echo_world):
+        _, _, proxy = echo_world
+        phone = self._phone()
+        assert not phone.vpn_connected
+        phone.connect_vpn(proxy)
+        assert phone.vpn_connected
+        assert proxy.ca_issuer in phone.ca_store.trusted_issuers
+        phone.disconnect_vpn()
+        assert not phone.vpn_connected
+
+    def test_transport_type_depends_on_vpn(self, echo_world):
+        network, _, proxy = echo_world
+        from repro.http.transport import DirectTransport
+        from repro.proxy.meddle import ProxyTransport
+
+        phone = Phone(PhoneSpec.nexus5(), network, random.Random(7))
+        assert isinstance(phone.transport(), DirectTransport)
+        phone.connect_vpn(proxy)
+        assert isinstance(phone.transport(), ProxyTransport)
+
+    def test_user_agent_strings(self):
+        android = self._phone()
+        ios = self._phone(PhoneSpec.iphone5())
+        assert "Nexus 5" in android.user_agent("web")
+        assert "Dalvik" in android.user_agent("app")
+        assert "iPhone OS 9_3_1" in ios.user_agent("web")
+        assert "CFNetwork" in ios.user_agent("app", app_name="Yelp")
+
+    def test_background_tick_respects_sync_setting(self, echo_world):
+        network, clock, proxy = echo_world
+        from repro.http.session import ClientSession
+        from repro.services.webtracker import OsServiceHandler
+
+        handler = OsServiceHandler()
+        for host in ("play.googleapis.com", "android.clients.google.com",
+                     "mtalk.google.com", "connectivitycheck.gstatic.com"):
+            network.register(host, handler)
+        phone = Phone(PhoneSpec.nexus5(), network, random.Random(7))
+        phone.connect_vpn(proxy)
+        factory = lambda transport: ClientSession(transport)
+        phone.background_sync = True
+        assert phone.background_tick(factory) == 4
+        phone.background_sync = False
+        assert phone.background_tick(factory) == 1

@@ -1,0 +1,88 @@
+"""Tests for the deterministic resolver."""
+
+import pytest
+
+from repro.net.clock import SimClock
+from repro.net.dns import DnsError, Resolver, stable_address
+from repro.net.inet import is_private_ipv4, is_valid_ipv4
+
+
+class TestStableAddress:
+    def test_deterministic(self):
+        assert stable_address("www.example.com") == stable_address("www.example.com")
+
+    def test_case_insensitive(self):
+        assert stable_address("WWW.Example.COM") == stable_address("www.example.com")
+
+    def test_different_names_differ(self):
+        assert stable_address("a.example.com") != stable_address("b.example.com")
+
+    def test_namespace_changes_mapping(self):
+        assert stable_address("x.com", namespace="one") != stable_address("x.com", namespace="two")
+
+    def test_addresses_are_public(self):
+        for name in ("weather.com", "google-analytics.com", "ad.doubleclick.net"):
+            address = stable_address(name)
+            assert is_valid_ipv4(address)
+            assert not is_private_ipv4(address)
+            first = int(address.split(".")[0])
+            assert first not in (0, 10, 127)
+            assert first < 224
+
+
+class TestResolver:
+    def test_resolves_to_stable_address(self):
+        resolver = Resolver(SimClock())
+        assert resolver.resolve("example.com") == stable_address("example.com")
+
+    def test_empty_hostname_rejected(self):
+        resolver = Resolver(SimClock())
+        with pytest.raises(DnsError):
+            resolver.resolve("")
+
+    def test_trailing_dot_normalized(self):
+        resolver = Resolver(SimClock())
+        assert resolver.resolve("example.com.") == resolver.resolve("example.com")
+
+    def test_cache_hit_counted(self):
+        resolver = Resolver(SimClock())
+        resolver.resolve("example.com")
+        resolver.resolve("example.com")
+        assert resolver.queries == 2
+        assert resolver.cache_hits == 1
+
+    def test_cache_expires_after_ttl(self):
+        clock = SimClock()
+        resolver = Resolver(clock, ttl=10.0)
+        resolver.resolve("example.com")
+        clock.advance(10.0)
+        resolver.resolve("example.com")
+        assert resolver.cache_hits == 0
+
+    def test_ttl_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Resolver(SimClock(), ttl=0)
+
+    def test_override_pins_address(self):
+        resolver = Resolver(SimClock())
+        resolver.add_override("pinned.example", "1.2.3.4")
+        assert resolver.resolve("pinned.example") == "1.2.3.4"
+
+    def test_override_nxdomain(self):
+        resolver = Resolver(SimClock())
+        resolver.add_override("gone.example", None)
+        with pytest.raises(DnsError):
+            resolver.resolve("gone.example")
+
+    def test_override_validates_address(self):
+        resolver = Resolver(SimClock())
+        with pytest.raises(DnsError):
+            resolver.add_override("x.example", "not-an-ip")
+
+    def test_flush_clears_cache(self):
+        resolver = Resolver(SimClock())
+        resolver.resolve("a.example")
+        resolver.resolve("b.example")
+        assert resolver.cache_size == 2
+        resolver.flush()
+        assert resolver.cache_size == 0

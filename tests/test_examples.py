@@ -1,0 +1,38 @@
+"""Smoke tests: the example scripts must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_custom_service_audit(self):
+        out = run_example("custom_service_audit.py")
+        assert "FINDING" in out
+        assert "gigya" in out
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "A&A domains" in out
+        assert "web contacts more A&A domains" in out
+
+    def test_password_leak_audit(self):
+        out = run_example("password_leak_audit.py")
+        assert "taplytics" in out
+        assert "usablenet" in out
+        assert "gigya" in out

@@ -1,0 +1,202 @@
+"""Tests for scripts, filtering, dataset persistence, and the runner."""
+
+import itertools
+
+import pytest
+
+from repro.experiment.dataset import APP, WEB, Dataset, SessionRecord
+from repro.experiment.filtering import background_share, filter_background, is_background_flow
+from repro.experiment.runner import ExperimentRunner, RunnerError
+from repro.experiment.scripts import BROWSE, LOGIN, OPEN, InteractionScript, standard_script
+from repro.net.trace import SessionMeta, Trace
+from repro.pii.types import PiiType
+from repro.services.catalog import build_catalog
+from repro.services.world import build_world
+
+from .test_flow import make_flow
+
+
+class TestScripts:
+    def test_open_first(self):
+        script = InteractionScript("t", requires_login=False)
+        actions = list(itertools.islice(script.actions(), 5))
+        assert actions[0] == OPEN
+        assert LOGIN not in actions
+
+    def test_login_second_when_required(self):
+        script = InteractionScript("t", requires_login=True)
+        actions = list(itertools.islice(script.actions(), 3))
+        assert actions[:2] == [OPEN, LOGIN]
+
+    def test_activities_cycle_forever(self):
+        script = InteractionScript("t", requires_login=False)
+        actions = list(itertools.islice(script.actions(), 20))
+        assert BROWSE in actions
+        assert len(actions) == 20
+
+    def test_duration_positive(self):
+        with pytest.raises(ValueError):
+            InteractionScript("t", requires_login=False, duration=0)
+
+    def test_standard_script_from_spec(self):
+        spec = build_catalog()[0]
+        script = standard_script(spec, duration=120)
+        assert script.requires_login == spec.requires_login
+        assert script.duration == 120
+
+
+class TestFiltering:
+    def test_tagged_flows_dropped(self):
+        flow = make_flow()
+        flow.tags.add("background")
+        assert is_background_flow(flow)
+
+    def test_os_hosts_dropped_even_untagged(self):
+        flow = make_flow(hostname="play.googleapis.com")
+        assert is_background_flow(flow)
+        flow2 = make_flow(hostname="push.apple.com")
+        assert is_background_flow(flow2)
+
+    def test_extra_hosts(self):
+        flow = make_flow(hostname="internal.example")
+        assert not is_background_flow(flow)
+        assert is_background_flow(flow, extra_hosts=["internal.example"])
+
+    def test_filter_background_trace(self):
+        trace = Trace(meta=SessionMeta(service="s", os_name="ios", medium="app"))
+        trace.add(make_flow(flow_id=0, hostname="api.site.com"))
+        noisy = make_flow(flow_id=1, hostname="mtalk.google.com")
+        trace.add(noisy)
+        filtered = filter_background(trace)
+        assert len(filtered) == 1
+        assert filtered.flows[0].hostname == "api.site.com"
+
+    def test_background_share(self):
+        trace = Trace(meta=SessionMeta(service="s", os_name="ios", medium="app"))
+        trace.add(make_flow(flow_id=0, hostname="api.site.com"))
+        trace.add(make_flow(flow_id=1, hostname="push.apple.com"))
+        assert background_share(trace) == 0.5
+        empty = Trace(meta=trace.meta)
+        assert background_share(empty) == 0.0
+
+
+class TestDataset:
+    def _record(self, service="svc", os_name="android", medium=APP):
+        trace = Trace(meta=SessionMeta(service=service, os_name=os_name, medium=medium))
+        trace.add(make_flow())
+        return SessionRecord(
+            service=service, os_name=os_name, medium=medium, trace=trace,
+            ground_truth={PiiType.EMAIL: ["a@b.c"]},
+        )
+
+    def test_add_and_get(self):
+        dataset = Dataset()
+        dataset.add(self._record())
+        assert dataset.get("svc", "android", APP) is not None
+        assert dataset.get("svc", "ios", APP) is None
+        assert len(dataset) == 1
+
+    def test_duplicate_rejected(self):
+        dataset = Dataset()
+        dataset.add(self._record())
+        with pytest.raises(ValueError):
+            dataset.add(self._record())
+
+    def test_services_and_sessions_for(self):
+        dataset = Dataset()
+        dataset.add(self._record())
+        dataset.add(self._record(medium=WEB))
+        dataset.add(self._record(service="other"))
+        assert dataset.services() == ["other", "svc"]
+        assert len(dataset.sessions_for("svc")) == 2
+
+    def test_save_load_roundtrip(self, tmp_path):
+        dataset = Dataset()
+        dataset.add(self._record())
+        dataset.add(self._record(medium=WEB))
+        dataset.save(tmp_path / "study")
+        again = Dataset.load(tmp_path / "study")
+        assert len(again) == 2
+        record = again.get("svc", "android", APP)
+        assert record.ground_truth == {PiiType.EMAIL: ["a@b.c"]}
+        assert len(record.trace) == 1
+
+    def test_totals(self):
+        dataset = Dataset()
+        dataset.add(self._record())
+        assert dataset.total_flows() == 1
+        assert dataset.total_bytes() >= 0
+
+
+@pytest.fixture(scope="module")
+def runner_world():
+    by_slug = {s.slug: s for s in build_catalog()}
+    specs = [by_slug["yelp"], by_slug["fandango"]]
+    world = build_world(specs)
+    return world, specs
+
+
+class TestRunner:
+    def test_session_produces_flows_and_truth(self, runner_world):
+        world, specs = runner_world
+        runner = ExperimentRunner(world, seed=1)
+        record = runner.run_session(specs[0], "android", APP, duration=60)
+        assert len(record.trace) > 5
+        assert PiiType.UNIQUE_ID in record.ground_truth
+        assert PiiType.EMAIL in record.ground_truth
+        assert record.trace.meta.category == "Lifestyle"
+
+    def test_session_respects_duration(self, runner_world):
+        world, specs = runner_world
+        runner = ExperimentRunner(world, seed=1)
+        short = runner.run_session(specs[0], "android", APP, duration=30)
+        long = runner.run_session(specs[0], "ios", APP, duration=240)
+        assert len(long.trace) > len(short.trace)
+
+    def test_ios_only_service_rejected_on_android(self, runner_world):
+        world, specs = runner_world
+        runner = ExperimentRunner(world, seed=1)
+        with pytest.raises(RunnerError):
+            runner.run_session(specs[1], "android", APP)  # Fandango is iOS-only
+
+    def test_unknown_medium_rejected(self, runner_world):
+        world, specs = runner_world
+        runner = ExperimentRunner(world, seed=1)
+        with pytest.raises(RunnerError):
+            runner.run_session(specs[0], "android", "tv")
+
+    def test_account_shared_across_cells(self, runner_world):
+        world, specs = runner_world
+        runner = ExperimentRunner(world, seed=1)
+        assert runner.account_for(specs[0]) is runner.account_for(specs[0])
+        assert runner.account_for(specs[0]).email != runner.account_for(specs[1]).email
+
+    def test_run_service_covers_tested_cells(self, runner_world):
+        world, specs = runner_world
+        runner = ExperimentRunner(world, seed=1)
+        records = runner.run_service(specs[1], duration=30)  # iOS-only
+        keys = {(r.os_name, r.medium) for r in records}
+        assert keys == {("ios", APP), ("ios", WEB)}
+
+    def test_background_flows_present_then_filterable(self, runner_world):
+        world, specs = runner_world
+        runner = ExperimentRunner(world, seed=1)
+        record = runner.run_session(specs[0], "android", APP, duration=120)
+        assert background_share(record.trace) > 0
+        assert background_share(filter_background(record.trace)) == 0
+
+    def test_deterministic_given_seed(self):
+        by_slug = {s.slug: s for s in build_catalog()}
+        spec = by_slug["yelp"]
+
+        def run_once():
+            world = build_world([spec])
+            runner = ExperimentRunner(world, seed=77)
+            record = runner.run_session(spec, "ios", WEB, duration=60)
+            return [
+                (flow.hostname, txn.request.url)
+                for flow in record.trace
+                for txn in flow.transactions
+            ]
+
+        assert run_once() == run_once()

@@ -1,0 +1,223 @@
+"""Tests for the extensions: countermeasures, HAR export, report."""
+
+import json
+
+import pytest
+
+from repro.core.countermeasures import (
+    BlockedRequest,
+    TrackerBlockingTransport,
+    evaluate_blocking,
+    summarize_outcomes,
+)
+from repro.http.transport import DirectTransport, Network, NetworkError
+from repro.net.har import dump_har, trace_to_har
+from repro.pii.types import PiiType
+from repro.services.catalog import build_catalog
+
+from .test_flow import make_flow, make_txn
+from repro.net.trace import SessionMeta, Trace
+
+
+@pytest.fixture(scope="module")
+def blocking_outcome():
+    spec = next(s for s in build_catalog() if s.slug == "foodnetwork")
+    return evaluate_blocking(spec, "android", duration=120)
+
+
+class TestBlockingTransport:
+    def test_blocks_easylist_hosts(self, echo_world):
+        network, _, _ = echo_world
+        transport = TrackerBlockingTransport(DirectTransport(network), "site.com")
+        with pytest.raises(BlockedRequest):
+            transport.connect("www.google-analytics.com", 443, "https")
+        assert transport.blocked == 1
+
+    def test_allows_clean_hosts(self, echo_world):
+        network, _, _ = echo_world
+        transport = TrackerBlockingTransport(DirectTransport(network), "site.com")
+        connection = transport.connect("api.example.com", 443, "https")
+        assert connection is not None
+        assert transport.allowed == 1
+
+    def test_first_party_context_respected(self, echo_world):
+        """facebook.com is $third-party in the list: not blocked on its
+        own site."""
+        network, _, _ = echo_world
+        transport = TrackerBlockingTransport(
+            DirectTransport(network), "www.facebook.com"
+        )
+        with pytest.raises(NetworkError) as excinfo:
+            # Not blocked — but the echo network has no route, which is
+            # a different error class than BlockedRequest.
+            transport.connect("graph.facebook.com", 443, "https")
+        assert not isinstance(excinfo.value, BlockedRequest)
+
+
+class TestBlockingOutcome:
+    def test_aa_exposure_eliminated(self, blocking_outcome):
+        assert len(blocking_outcome.baseline.aa_domains) > 5
+        assert len(blocking_outcome.protected.aa_domains) == 0
+        assert blocking_outcome.connections_blocked > 0
+        assert blocking_outcome.aa_domains_removed > 0
+
+    def test_leaks_reduced_but_not_eliminated(self, blocking_outcome):
+        assert blocking_outcome.leaks_prevented > 0
+        assert blocking_outcome.protected.leaks  # first-party N survives
+
+    def test_gigya_survives_blocking(self, blocking_outcome):
+        """The §4.2 password flow is invisible to EasyList."""
+        assert "gigya.com" in blocking_outcome.residual_third_parties
+        assert PiiType.PASSWORD in blocking_outcome.residual_leak_types
+
+    def test_summary(self, blocking_outcome):
+        summary = summarize_outcomes([blocking_outcome])
+        assert summary["services"] == 1
+        assert 0.0 < summary["reduction"] < 1.0
+        with pytest.raises(ValueError):
+            summarize_outcomes([])
+
+
+class TestHarExport:
+    def _trace(self):
+        trace = Trace(meta=SessionMeta(service="yelp", os_name="ios", medium="web"))
+        flow = make_flow()
+        flow.add_transaction(make_txn())
+        trace.add(flow)
+        return trace
+
+    def test_structure(self):
+        har = trace_to_har(self._trace())
+        log = har["log"]
+        assert log["version"] == "1.2"
+        assert len(log["entries"]) == 1
+        entry = log["entries"][0]
+        assert entry["request"]["method"] == "GET"
+        assert entry["response"]["status"] == 200
+        assert entry["serverIPAddress"] == "23.4.5.6"
+
+    def test_query_string_decomposed(self):
+        har = trace_to_har(self._trace())
+        query = har["log"]["entries"][0]["request"]["queryString"]
+        assert {"name": "a", "value": "1"} in query
+
+    def test_opaque_flows_omitted_with_comment(self):
+        trace = self._trace()
+        from repro.net.flow import TlsInfo
+
+        opaque = make_flow(flow_id=9, tls=TlsInfo(sni="p.example", intercepted=False))
+        opaque.account_opaque(10, 10)
+        trace.add(opaque)
+        har = trace_to_har(trace)
+        assert len(har["log"]["entries"]) == 1
+        assert "opaque" in har["log"]["comment"]
+
+    def test_dump_is_valid_json(self, tmp_path):
+        path = tmp_path / "t.har"
+        dump_har(self._trace(), path)
+        parsed = json.loads(path.read_text())
+        assert parsed["log"]["creator"]["name"] == "repro"
+
+    def test_post_data_included(self):
+        trace = Trace(meta=SessionMeta(service="s", os_name="ios", medium="app"))
+        flow = make_flow()
+        flow.add_transaction(make_txn(body=b"k=v"))
+        trace.add(flow)
+        entry = trace_to_har(trace)["log"]["entries"][0]
+        assert entry["request"]["postData"]["text"] == "k=v"
+
+    def test_timestamps_rendered(self):
+        trace = self._trace()
+        trace.flows[0].transactions[0].timestamp = 3725.5
+        entry = trace_to_har(trace)["log"]["entries"][0]
+        assert entry["startedDateTime"] == "1970-01-01T01:02:05.500Z"
+
+
+class TestReport:
+    def test_markdown_structure(self, mini_study):
+        from repro.analysis.report import build_comparison, render_markdown
+
+        text = render_markdown(mini_study)
+        assert "# EXPERIMENTS" in text
+        assert "| Quantity | Paper | Measured |" in text
+        assert "Table 3" in text
+        assert "Figure 1f" in text
+        lines = build_comparison(mini_study)
+        assert len(lines) > 40
+        for line in lines:
+            assert line.paper and line.measured
+
+
+class TestHarImport:
+    def _roundtrip(self):
+        from repro.net.har import har_to_trace, trace_to_har
+
+        trace = Trace(meta=SessionMeta(service="yelp", os_name="ios", medium="web"))
+        flow = make_flow()
+        flow.add_transaction(make_txn(body=b"k=v"))
+        flow.add_transaction(make_txn(ts=2.0))
+        trace.add(flow)
+        return trace, har_to_trace(trace_to_har(trace), meta=trace.meta)
+
+    def test_roundtrip_preserves_transactions(self):
+        original, imported = self._roundtrip()
+        assert len(imported) == len(original)
+        assert sum(len(f.transactions) for f in imported) == 2
+        txn = imported.flows[0].transactions[0]
+        assert txn.request.method == "GET"
+        assert txn.request.body == b"k=v"
+        assert txn.response.status == 200
+
+    def test_roundtrip_detection_parity(self, mini_study):
+        """Detection over exported-then-imported traffic finds the same
+        PII types as over the original capture."""
+        from repro.net.har import har_to_trace, trace_to_har
+        from repro.pii.detector import PiiDetector
+        from repro.pii.matcher import GroundTruthMatcher
+
+        record = next(iter(mini_study.dataset))
+        imported = har_to_trace(trace_to_har(record.trace), meta=record.trace.meta)
+        detector = PiiDetector(GroundTruthMatcher(record.ground_truth))
+        assert detector.scan_trace(imported).types() == detector.scan_trace(record.trace).types()
+
+    def test_rejects_non_har(self):
+        from repro.net.har import HarFormatError, har_to_trace
+
+        with pytest.raises(HarFormatError):
+            har_to_trace({"nope": 1})
+
+    def test_groups_by_connection_id(self):
+        from repro.net.har import har_to_trace
+
+        entry = {
+            "startedDateTime": "1970-01-01T00:00:01.000Z",
+            "request": {"method": "GET", "url": "https://a.example/x", "headers": []},
+            "response": {"status": 200, "statusText": "OK", "headers": [], "content": {}},
+        }
+        doc = {"log": {"entries": [
+            dict(entry, connection="1"),
+            dict(entry, connection="1"),
+            dict(entry, connection="2"),
+        ]}}
+        trace = har_to_trace(doc)
+        assert len(trace) == 2
+
+    def test_skips_unparsable_urls(self):
+        from repro.net.har import har_to_trace
+
+        doc = {"log": {"entries": [
+            {"request": {"method": "GET", "url": "data:text/plain,x", "headers": []}},
+        ]}}
+        assert len(har_to_trace(doc)) == 0
+
+    def test_load_har_from_disk(self, tmp_path):
+        from repro.net.har import dump_har, load_har
+
+        trace = Trace(meta=SessionMeta(service="s", os_name="ios", medium="web"))
+        flow = make_flow()
+        flow.add_transaction(make_txn())
+        trace.add(flow)
+        path = tmp_path / "x.har"
+        dump_har(trace, path)
+        again = load_har(path)
+        assert len(again) == 1

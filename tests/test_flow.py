@@ -1,0 +1,137 @@
+"""Tests for flow records and byte accounting."""
+
+from repro.net.flow import CapturedRequest, CapturedResponse, Flow, HttpTransaction, TlsInfo
+
+
+def make_flow(**overrides):
+    defaults = dict(
+        flow_id=1,
+        ts_start=0.0,
+        client_ip="10.11.0.2",
+        client_port=40001,
+        server_ip="23.4.5.6",
+        server_port=443,
+        hostname="api.example.com",
+        scheme="https",
+    )
+    defaults.update(overrides)
+    return Flow(**defaults)
+
+
+def make_txn(ts=1.0, body=b"", response_body=b"ok"):
+    return HttpTransaction(
+        timestamp=ts,
+        request=CapturedRequest(
+            method="GET",
+            url="https://api.example.com/x?a=1",
+            headers=[("Host", "api.example.com")],
+            body=body,
+        ),
+        response=CapturedResponse(status=200, reason="OK", body=response_body),
+    )
+
+
+class TestCaptured:
+    def test_request_header_lookup_case_insensitive(self):
+        request = CapturedRequest("GET", "https://x/", headers=[("X-Foo", "bar")])
+        assert request.header("x-foo") == "bar"
+        assert request.header("missing", "dflt") == "dflt"
+
+    def test_response_header_lookup(self):
+        response = CapturedResponse(200, headers=[("Set-Cookie", "a=1")])
+        assert response.header("set-cookie") == "a=1"
+
+    def test_sizes_positive_and_grow_with_body(self):
+        small = CapturedRequest("GET", "https://x/", body=b"")
+        big = CapturedRequest("GET", "https://x/", body=b"z" * 100)
+        assert big.size == small.size + 100
+
+    def test_request_roundtrip_dict(self):
+        request = CapturedRequest("POST", "https://x/p", headers=[("A", "b")], body=b"\x00\xff")
+        again = CapturedRequest.from_dict(request.to_dict())
+        assert again == request
+
+    def test_response_roundtrip_dict(self):
+        response = CapturedResponse(302, "Found", [("Location", "/y")], b"x")
+        again = CapturedResponse.from_dict(response.to_dict())
+        assert again == response
+
+
+class TestFlow:
+    def test_plain_flow_is_decrypted(self):
+        flow = make_flow(scheme="http")
+        assert not flow.encrypted
+        assert flow.decrypted
+
+    def test_intercepted_tls_is_decrypted(self):
+        flow = make_flow(tls=TlsInfo(sni="api.example.com", intercepted=True))
+        assert flow.encrypted
+        assert flow.decrypted
+
+    def test_passthrough_tls_is_opaque(self):
+        flow = make_flow(tls=TlsInfo(sni="api.example.com", intercepted=False))
+        assert not flow.decrypted
+
+    def test_add_transaction_accounts_bytes(self):
+        flow = make_flow()
+        txn = make_txn()
+        flow.add_transaction(txn)
+        assert flow.bytes_up > 0
+        assert flow.bytes_down > 0
+        assert flow.total_bytes == flow.bytes_up + flow.bytes_down
+
+    def test_add_transaction_with_explicit_sizes(self):
+        flow = make_flow()
+        flow.add_transaction(make_txn(), bytes_up=100, bytes_down=5000)
+        assert flow.bytes_up == 100
+        assert flow.bytes_down == 5000
+
+    def test_add_transaction_advances_ts_end(self):
+        flow = make_flow()
+        flow.add_transaction(make_txn(ts=9.0))
+        assert flow.ts_end == 9.0
+        flow.add_transaction(make_txn(ts=5.0))
+        assert flow.ts_end == 9.0
+
+    def test_account_opaque(self):
+        flow = make_flow()
+        flow.account_opaque(10, 20)
+        assert flow.total_bytes == 30
+
+    def test_account_opaque_rejects_negative(self):
+        flow = make_flow()
+        import pytest
+
+        with pytest.raises(ValueError):
+            flow.account_opaque(-1, 0)
+
+    def test_packet_estimate_minimum(self):
+        assert make_flow().packets == 2
+
+    def test_packet_estimate_scales(self):
+        flow = make_flow()
+        flow.account_opaque(14000, 0)
+        assert flow.packets >= 10
+
+    def test_roundtrip_dict(self):
+        flow = make_flow(tls=TlsInfo(sni="api.example.com"), tags={"background"})
+        flow.add_transaction(make_txn())
+        again = Flow.from_dict(flow.to_dict())
+        assert again.hostname == flow.hostname
+        assert again.tags == {"background"}
+        assert again.tls.sni == "api.example.com"
+        assert len(again.transactions) == 1
+        assert again.total_bytes == flow.total_bytes
+
+    def test_roundtrip_without_tls(self):
+        flow = make_flow(scheme="http", tls=None)
+        again = Flow.from_dict(flow.to_dict())
+        assert again.tls is None
+
+    def test_binary_bodies_survive_roundtrip(self):
+        flow = make_flow()
+        txn = make_txn(body=bytes(range(256)), response_body=bytes(reversed(range(256))))
+        flow.add_transaction(txn)
+        again = Flow.from_dict(flow.to_dict())
+        assert again.transactions[0].request.body == bytes(range(256))
+        assert again.transactions[0].response.body == bytes(reversed(range(256)))

@@ -1,0 +1,77 @@
+"""Tests for the header multi-map."""
+
+from hypothesis import given, strategies as st
+
+from repro.http.headers import Headers
+
+
+class TestHeaders:
+    def test_add_and_get_case_insensitive(self):
+        headers = Headers()
+        headers.add("Content-Type", "text/html")
+        assert headers.get("content-type") == "text/html"
+        assert headers.get("CONTENT-TYPE") == "text/html"
+
+    def test_get_default(self):
+        assert Headers().get("x", "dflt") == "dflt"
+
+    def test_duplicates_preserved_in_order(self):
+        headers = Headers()
+        headers.add("Set-Cookie", "a=1")
+        headers.add("Set-Cookie", "b=2")
+        assert headers.get_all("set-cookie") == ["a=1", "b=2"]
+        assert headers.get("Set-Cookie") == "a=1"
+
+    def test_set_replaces_all(self):
+        headers = Headers([("A", "1"), ("a", "2"), ("B", "3")])
+        headers.set("A", "9")
+        assert headers.get_all("a") == ["9"]
+        assert headers.get("B") == "3"
+
+    def test_setdefault_existing(self):
+        headers = Headers([("Host", "e.com")])
+        assert headers.setdefault("host", "other") == "e.com"
+        assert headers.get_all("Host") == ["e.com"]
+
+    def test_setdefault_missing(self):
+        headers = Headers()
+        assert headers.setdefault("Host", "e.com") == "e.com"
+        assert "host" in headers
+
+    def test_remove_returns_count(self):
+        headers = Headers([("A", "1"), ("a", "2")])
+        assert headers.remove("A") == 2
+        assert headers.remove("A") == 0
+
+    def test_contains(self):
+        headers = Headers([("X-Token", "v")])
+        assert "x-token" in headers
+        assert "y" not in headers
+
+    def test_len_and_iter(self):
+        headers = Headers([("A", "1"), ("B", "2")])
+        assert len(headers) == 2
+        assert list(headers) == [("A", "1"), ("B", "2")]
+
+    def test_copy_is_independent(self):
+        original = Headers([("A", "1")])
+        clone = original.copy()
+        clone.add("B", "2")
+        assert len(original) == 1
+
+    def test_values_coerced_to_str(self):
+        headers = Headers()
+        headers.add("Content-Length", 42)
+        assert headers.get("content-length") == "42"
+
+    def test_equality_ignores_name_case(self):
+        assert Headers([("A", "1")]) == Headers([("a", "1")])
+        assert Headers([("A", "1")]) != Headers([("A", "2")])
+
+    def test_equality_with_other_type(self):
+        assert Headers() != "not headers"
+
+    @given(st.lists(st.tuples(st.text(min_size=1, max_size=8), st.text(max_size=8)), max_size=10))
+    def test_items_roundtrip(self, pairs):
+        headers = Headers(pairs)
+        assert headers.items() == [(str(k), str(v)) for k, v in pairs]

@@ -1,0 +1,130 @@
+"""Tests for IPv4/MAC helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.inet import (
+    AddressError,
+    format_ipv4,
+    format_mac,
+    int_to_ipv4,
+    ipv4_to_int,
+    is_private_ipv4,
+    is_valid_ipv4,
+    is_valid_mac,
+    parse_ipv4,
+    parse_mac,
+    random_mac,
+    random_public_ipv4,
+)
+
+
+class TestIpv4Parsing:
+    def test_parses_canonical(self):
+        assert parse_ipv4("192.168.1.20") == (192, 168, 1, 20)
+
+    def test_rejects_too_few_octets(self):
+        with pytest.raises(AddressError):
+            parse_ipv4("10.0.0")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            parse_ipv4("10.0.0.256")
+
+    def test_rejects_leading_zero(self):
+        with pytest.raises(AddressError):
+            parse_ipv4("10.0.0.01")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(AddressError):
+            parse_ipv4("a.b.c.d")
+
+    def test_rejects_negative(self):
+        with pytest.raises(AddressError):
+            parse_ipv4("10.0.0.-1")
+
+    def test_is_valid(self):
+        assert is_valid_ipv4("8.8.8.8")
+        assert not is_valid_ipv4("8.8.8")
+        assert not is_valid_ipv4("")
+
+    def test_format_roundtrip(self):
+        assert format_ipv4((1, 2, 3, 4)) == "1.2.3.4"
+
+    def test_format_rejects_bad_octets(self):
+        with pytest.raises(AddressError):
+            format_ipv4((1, 2, 3, 400))
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_int_roundtrip(self, value):
+        assert ipv4_to_int(int_to_ipv4(value)) == value
+
+    def test_int_to_ipv4_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            int_to_ipv4(2**32)
+
+
+class TestPrivateRanges:
+    @pytest.mark.parametrize(
+        "address,private",
+        [
+            ("10.0.0.1", True),
+            ("172.16.0.1", True),
+            ("172.31.255.255", True),
+            ("172.32.0.1", False),
+            ("192.168.0.1", True),
+            ("192.169.0.1", False),
+            ("8.8.8.8", False),
+        ],
+    )
+    def test_classification(self, address, private):
+        assert is_private_ipv4(address) is private
+
+    def test_random_public_never_private(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            address = random_public_ipv4(rng)
+            assert is_valid_ipv4(address)
+            assert not is_private_ipv4(address)
+
+
+class TestMac:
+    def test_parse_and_format_roundtrip(self):
+        raw = parse_mac("aa:bb:cc:dd:ee:ff")
+        assert format_mac(raw) == "aa:bb:cc:dd:ee:ff"
+
+    def test_rejects_short(self):
+        with pytest.raises(AddressError):
+            parse_mac("aa:bb:cc:dd:ee")
+
+    def test_rejects_non_hex(self):
+        with pytest.raises(AddressError):
+            parse_mac("aa:bb:cc:dd:ee:gg")
+
+    def test_rejects_single_digit_octet(self):
+        with pytest.raises(AddressError):
+            parse_mac("a:bb:cc:dd:ee:ff")
+
+    def test_format_rejects_wrong_length(self):
+        with pytest.raises(AddressError):
+            format_mac(b"\x01\x02")
+
+    def test_is_valid(self):
+        assert is_valid_mac("00:11:22:33:44:55")
+        assert not is_valid_mac("00-11-22-33-44-55")
+
+    def test_random_mac_valid(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            assert is_valid_mac(random_mac(rng))
+
+    def test_random_mac_with_oui(self):
+        rng = random.Random(3)
+        mac = random_mac(rng, oui=(0xAC, 0x22, 0x0B))
+        assert mac.startswith("ac:22:0b:")
+
+    def test_random_mac_rejects_bad_oui(self):
+        with pytest.raises(AddressError):
+            random_mac(random.Random(0), oui=(1, 2))

@@ -1,0 +1,116 @@
+"""Cross-module integration invariants on a complete mini study.
+
+These tie the layers together: what the catalog plants, the runtimes
+emit, the proxy records, the detector finds, the policy classifies, and
+the analysis reports must all agree.
+"""
+
+import pytest
+
+from repro.core.compare import study_diffs
+from repro.core.pipeline import analyze_dataset
+from repro.experiment.dataset import APP, WEB
+from repro.pii.types import PiiType
+from repro.trackerdb.psl import domain_key
+
+from .test_catalog import media_types
+
+
+class TestStudyInvariants:
+    def test_every_leak_domain_was_contacted(self, mini_study):
+        """A domain can only receive PII if traffic went there."""
+        for record in mini_study.dataset:
+            result = mini_study.by_slug(record.service)
+            analysis = result.cell(record.os_name, record.medium)
+            contacted = {domain_key(h) for h in record.trace.hostnames()}
+            assert analysis.leak_domains <= contacted
+
+    def test_aa_flows_bounded_by_total(self, mini_study):
+        for analysis in mini_study.analyses():
+            assert 0 <= analysis.aa_flows <= analysis.flows_total
+
+    def test_leak_reasons_valid(self, mini_study):
+        from repro.core.leaks import (
+            FIRST_PARTY_NON_CREDENTIAL,
+            PLAINTEXT,
+            THIRD_PARTY,
+            CREDENTIAL_TYPES,
+        )
+
+        for analysis in mini_study.analyses():
+            for record in analysis.leaks:
+                assert record.reason in (PLAINTEXT, THIRD_PARTY, FIRST_PARTY_NON_CREDENTIAL)
+                if record.reason == FIRST_PARTY_NON_CREDENTIAL:
+                    assert record.pii_type not in CREDENTIAL_TYPES
+                    assert record.category.is_first_party
+                if record.reason == THIRD_PARTY:
+                    assert not record.category.is_first_party
+
+    def test_detection_exact_vs_planted(self, mini_study, mini_catalog):
+        """Per service and medium, measured leak types equal the
+        calibrated plant exactly (no misses, no hallucinations)."""
+        for spec in mini_catalog:
+            result = mini_study.by_slug(spec.slug)
+            for medium in (APP, WEB):
+                assert result.media_leak_types(medium) == media_types(spec, medium), (
+                    spec.slug,
+                    medium,
+                )
+
+    def test_plaintext_leaks_only_from_http_flows(self, mini_study):
+        for analysis in mini_study.analyses():
+            for record in analysis.leaks:
+                if record.plaintext:
+                    assert record.observation.url.startswith("http://")
+
+    def test_diffs_cover_every_service_os(self, mini_study):
+        diffs = study_diffs(mini_study)
+        expected = sum(len(r.spec.oses) for r in mini_study.services)
+        assert len(diffs) == expected
+
+    def test_reanalysis_is_deterministic(self, mini_study, mini_catalog):
+        """Analyzing the same dataset twice yields identical results."""
+        again = analyze_dataset(mini_study.dataset, mini_catalog, train_recon=False)
+        for result in mini_study.services:
+            other = again.by_slug(result.spec.slug)
+            for key, analysis in result.sessions.items():
+                other_analysis = other.sessions[key]
+                assert analysis.leak_types == other_analysis.leak_types
+                assert analysis.aa_domains == other_analysis.aa_domains
+                assert analysis.aa_flows == other_analysis.aa_flows
+                # ReCon off can only remove observations, never add.
+                assert len(other_analysis.leaks) <= len(analysis.leaks) or (
+                    analysis.leak_types == other_analysis.leak_types
+                )
+
+    def test_session_metadata_consistent(self, mini_study):
+        for record in mini_study.dataset:
+            assert record.trace.meta.service == record.service
+            assert record.trace.meta.medium == record.medium
+            assert record.trace.meta.os_name == record.os_name
+
+    def test_ground_truth_complete_per_session(self, mini_study):
+        for record in mini_study.dataset:
+            truth = record.ground_truth
+            assert truth[PiiType.UNIQUE_ID]
+            assert truth[PiiType.DEVICE_INFO]
+            assert truth[PiiType.LOCATION]
+            # every value non-empty
+            for values in truth.values():
+                assert all(values)
+
+    def test_app_sessions_lighter_than_web_in_flows(self, mini_study):
+        """Directional sanity across the mini set (Figure 1b's claim)."""
+        web_heavier = 0
+        comparisons = 0
+        for diff in study_diffs(mini_study):
+            comparisons += 1
+            if diff.aa_flows < 0:
+                web_heavier += 1
+        assert web_heavier >= comparisons * 0.6
+
+    def test_no_leak_observation_from_os_services(self, mini_study):
+        for analysis in mini_study.analyses():
+            for record in analysis.leaks:
+                assert "googleapis" not in record.observation.hostname
+                assert "apple.com" not in record.observation.hostname

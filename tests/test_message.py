@@ -1,0 +1,126 @@
+"""Tests for HTTP message models and wire serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.http.message import (
+    MessageError,
+    Request,
+    Response,
+    parse_request,
+    parse_response,
+    serialize_request,
+    serialize_response,
+)
+
+
+class TestRequest:
+    def test_build_fills_host_and_lengths(self):
+        request = Request.build("POST", "https://api.e.com/x", body=b"abc", content_type="text/plain")
+        assert request.headers.get("Host") == "api.e.com"
+        assert request.headers.get("Content-Length") == "3"
+        assert request.content_type == "text/plain"
+
+    def test_unsupported_method_rejected(self):
+        with pytest.raises(MessageError):
+            Request(method="YOLO", url="https://e.com/")
+
+    def test_host_prefers_header(self):
+        request = Request.build("GET", "https://a.com/")
+        request.headers.set("Host", "b.com:8080")
+        assert request.host == "b.com"
+
+    def test_copy_is_deep_enough(self):
+        request = Request.build("GET", "https://e.com/")
+        clone = request.copy()
+        clone.headers.add("X", "1")
+        assert "X" not in request.headers
+
+
+class TestResponse:
+    def test_reason_defaults_from_status(self):
+        assert Response(status=404).reason == "Not Found"
+        assert Response(status=599).reason == "Unknown"
+
+    def test_status_range_enforced(self):
+        with pytest.raises(MessageError):
+            Response(status=99)
+        with pytest.raises(MessageError):
+            Response(status=600)
+
+    def test_redirect_detection(self):
+        response = Response(status=302)
+        assert not response.is_redirect  # no Location yet
+        response.headers.set("Location", "/x")
+        assert response.is_redirect
+        assert response.location == "/x"
+
+    def test_ok_range(self):
+        assert Response(status=204).ok
+        assert not Response(status=301).ok
+        assert not Response(status=500).ok
+
+    def test_build_sets_content_headers(self):
+        response = Response.build(200, b"hi", "text/plain")
+        assert response.headers.get("Content-Type") == "text/plain"
+        assert response.headers.get("Content-Length") == "2"
+
+
+class TestWireFormat:
+    def test_request_roundtrip(self):
+        request = Request.build(
+            "POST",
+            "https://api.e.com/login?next=%2Fhome",
+            headers=[("User-Agent", "test/1.0")],
+            body=b"user=a&pass=b",
+            content_type="application/x-www-form-urlencoded",
+        )
+        again = parse_request(serialize_request(request), scheme="https")
+        assert again.method == "POST"
+        assert str(again.url) == str(request.url)
+        assert again.body == request.body
+        assert again.headers.get("User-Agent") == "test/1.0"
+
+    def test_response_roundtrip(self):
+        response = Response.build(302, b"", headers=[("Location", "https://e.com/next")])
+        again = parse_response(serialize_response(response))
+        assert again.status == 302
+        assert again.location == "https://e.com/next"
+
+    def test_response_roundtrip_with_body(self):
+        response = Response.build(200, bytes(range(256)), "application/octet-stream")
+        again = parse_response(serialize_response(response))
+        assert again.body == bytes(range(256))
+
+    def test_parse_request_requires_host(self):
+        wire = b"GET / HTTP/1.1\r\nAccept: */*\r\n\r\n"
+        with pytest.raises(MessageError):
+            parse_request(wire)
+
+    def test_parse_rejects_bad_request_line(self):
+        with pytest.raises(MessageError):
+            parse_request(b"GARBAGE\r\nHost: e.com\r\n\r\n")
+
+    def test_parse_rejects_missing_separator(self):
+        with pytest.raises(MessageError):
+            parse_response(b"HTTP/1.1 200 OK\r\n")
+
+    def test_parse_rejects_bad_status(self):
+        with pytest.raises(MessageError):
+            parse_response(b"HTTP/1.1 abc OK\r\n\r\n")
+
+    def test_parse_rejects_malformed_header(self):
+        with pytest.raises(MessageError):
+            parse_response(b"HTTP/1.1 200 OK\r\nBadHeaderLine\r\n\r\n")
+
+    @given(
+        method=st.sampled_from(["GET", "POST", "PUT", "DELETE"]),
+        path=st.from_regex(r"/[a-z0-9/]{0,20}", fullmatch=True),
+        body=st.binary(max_size=200),
+    )
+    def test_roundtrip_property(self, method, path, body):
+        request = Request.build(method, f"https://h.example{path}", body=body)
+        again = parse_request(serialize_request(request), scheme="https")
+        assert again.method == method
+        assert again.body == body
+        assert again.url.path == (path or "/")

@@ -1,0 +1,65 @@
+"""Consistency of the paper's published numbers across the codebase.
+
+The paper's Table 1/2/3 values appear in three places — the calibration
+tests, the bench assertions, and the report generator.  These tests pin
+them to each other so a transcription fix in one place cannot silently
+diverge from the others.
+"""
+
+from repro.analysis.report import (
+    PAPER_FIGURES,
+    PAPER_TABLE1_RATES,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+)
+from repro.pii.types import PiiType
+
+from .test_catalog import CATEGORY_SIZES, TABLE3_SERVICE_COUNTS
+
+
+class TestCrossModuleConsistency:
+    def test_table3_counts_agree_with_calibration(self):
+        for pii_type, (app_n, both_n, web_n) in TABLE3_SERVICE_COUNTS.items():
+            paper = PAPER_TABLE3[pii_type]
+            assert paper[:3] == (app_n, both_n, web_n), pii_type
+
+    def test_table1_rates_cover_all_categories(self):
+        rate_groups = {group for group, _ in PAPER_TABLE1_RATES}
+        for category in CATEGORY_SIZES:
+            assert category in rate_groups
+
+    def test_overall_rates_derivable_from_category_rates(self):
+        """92% (46/50) and 78% (39/50) follow from the category rows."""
+        app_leakers = sum(
+            round(PAPER_TABLE1_RATES[(cat, "app")] / 100 * n)
+            for cat, n in CATEGORY_SIZES.items()
+        )
+        web_leakers = sum(
+            round(PAPER_TABLE1_RATES[(cat, "web")] / 100 * n)
+            for cat, n in CATEGORY_SIZES.items()
+        )
+        assert app_leakers == 46
+        assert web_leakers == 39
+        assert PAPER_TABLE1_RATES[("All", "app")] == 92.0
+        assert PAPER_TABLE1_RATES[("All", "web")] == 78.0
+
+    def test_table2_shape(self):
+        assert len(PAPER_TABLE2) == 20  # top-20 A&A domains
+        # amobee: most leaks, one service — the table's headline row
+        assert PAPER_TABLE2["amobee.com"][0] == 1
+        assert PAPER_TABLE2["amobee.com"][3] == max(
+            row[3] for row in PAPER_TABLE2.values()
+        )
+        # app-only recipients have zero web services
+        for domain in ("vrvm.com", "liftoff.io"):
+            assert PAPER_TABLE2[domain][2] == 0
+
+    def test_table3_device_bound_rows(self):
+        for pii_type in (PiiType.UNIQUE_ID, PiiType.DEVICE_INFO):
+            _, both, web, _, avg_web, _, dom_both, dom_web = PAPER_TABLE3[pii_type]
+            assert both == web == dom_both == dom_web == 0
+            assert avg_web == 0.0
+
+    def test_figure_headlines(self):
+        assert PAPER_FIGURES["1a"] == {"android": 83.0, "ios": 78.0}
+        assert PAPER_FIGURES["1b"] == {"android": 73.0, "ios": 80.0}

@@ -1,0 +1,162 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import random
+import string
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.http.message import Request, Response
+from repro.http.session import ClientSession
+from repro.http.transport import DirectTransport, Network
+from repro.http.url import encode_query
+from repro.net.clock import SimClock
+from repro.net.flow import CapturedRequest
+from repro.net.trace import SessionMeta, Trace
+from repro.pii.encodings import encode_value, variants
+from repro.pii.matcher import GroundTruthMatcher
+from repro.pii.types import PiiType
+from repro.proxy.meddle import InterceptionProxy
+from repro.tls.certs import PROXY_CA, CaStore
+from repro.trackerdb.easylist import bundled_easylist
+
+# Values long enough to be searchable and unlikely to collide with
+# beacon boilerplate.
+pii_values = st.text(
+    alphabet=string.ascii_letters + string.digits + "@._-",
+    min_size=8,
+    max_size=24,
+).filter(lambda v: v.strip("._-@") == v and len(set(v)) > 3)
+
+ENCODINGS = ["identity", "base64", "hex", "md5", "sha1", "sha256", "urlencoded"]
+
+
+class TestPlantAndDetectProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(value=pii_values, encoding=st.sampled_from(ENCODINGS))
+    def test_planted_value_is_always_detected(self, value, encoding):
+        """Any ground-truth value planted in a query under any supported
+        encoding must be found by the matcher — the completeness
+        guarantee the controlled-experiment methodology rests on."""
+        matcher = GroundTruthMatcher({PiiType.EMAIL: [value]})
+        wire = encode_value(value, encoding)
+        request = CapturedRequest(
+            "GET",
+            f"https://tracker.example/c?{encode_query([('x', wire)])}",
+            headers=[("Host", "tracker.example")],
+        )
+        matches = matcher.match_request(request)
+        assert any(m.pii_type == PiiType.EMAIL for m in matches)
+
+    @settings(max_examples=40, deadline=None)
+    @given(value=pii_values)
+    def test_absent_value_never_detected(self, value):
+        """A value that never hits the wire must not be reported."""
+        matcher = GroundTruthMatcher({PiiType.PASSWORD: [value]})
+        request = CapturedRequest(
+            "GET",
+            "https://tracker.example/c?x=benign&y=12345",
+            headers=[("Host", "tracker.example")],
+        )
+        assert not matcher.match_request(request)
+
+    @settings(max_examples=40, deadline=None)
+    @given(value=pii_values)
+    def test_variants_self_consistent(self, value):
+        """Every advertised variant decodes back to (or derives from)
+        the original value via its named encoding."""
+        for form, encoding in variants(value).items():
+            if encoding in ("lowercase", "uppercase", "digits_only"):
+                continue
+            # Hash encodings are emitted for both the raw and the
+            # normalized (lowercased) value.
+            assert form in (
+                encode_value(value, encoding),
+                encode_value(value.lower(), encoding),
+            )
+
+
+class _EchoServer:
+    def handle(self, request):
+        return Response.build(200, b"x" * 64, "text/plain")
+
+
+class TestProxyAccountingProperty:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        n_requests=st.integers(min_value=1, max_value=12),
+        body_size=st.integers(min_value=0, max_value=5000),
+        per_connection=st.integers(min_value=1, max_value=8),
+    )
+    def test_bytes_and_flows_consistent(self, n_requests, body_size, per_connection):
+        """For any workload: flow count == ceil(requests/per_connection),
+        every byte counter is positive, and accounted bytes dominate the
+        (possibly truncated) stored payloads."""
+        network = Network()
+        network.register("s.example", _EchoServer())
+        clock = SimClock()
+        proxy = InterceptionProxy(network, clock, max_stored_body=256)
+        store = CaStore()
+        store.trust(PROXY_CA)
+        proxy.start_capture(SessionMeta(service="s", os_name="ios", medium="app"))
+        session = ClientSession(
+            proxy.transport_for(store), requests_per_connection=per_connection
+        )
+        body = b"b" * body_size
+        for i in range(n_requests):
+            if body:
+                session.post(f"https://s.example/{i}", body=body)
+            else:
+                session.get(f"https://s.example/{i}")
+        trace = proxy.stop_capture()
+
+        expected_flows = -(-n_requests // per_connection)
+        assert len(trace) == expected_flows
+        total_txns = sum(len(f.transactions) for f in trace)
+        assert total_txns == n_requests
+        for flow in trace:
+            assert flow.bytes_up > 0
+            assert flow.bytes_down > 0
+            stored_up = sum(len(t.request.body) for t in flow.transactions)
+            stored_down = sum(len(t.response.body) for t in flow.transactions)
+            assert flow.bytes_up >= stored_up
+            assert flow.bytes_down >= stored_down
+
+
+class TestTraceRoundtripProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_flows=st.integers(min_value=0, max_value=6),
+    )
+    def test_dump_load_identity(self, tmp_path_factory, seed, n_flows):
+        from tests.test_flow import make_flow, make_txn
+
+        rng = random.Random(seed)
+        trace = Trace(meta=SessionMeta(service="s", os_name="ios", medium="web"))
+        for i in range(n_flows):
+            flow = make_flow(flow_id=i, hostname=f"h{rng.randrange(3)}.example")
+            for _ in range(rng.randrange(3)):
+                flow.add_transaction(make_txn(body=bytes(rng.randrange(256) for _ in range(rng.randrange(64)))))
+            trace.add(flow)
+        path = tmp_path_factory.mktemp("traces") / f"t{seed}.jsonl"
+        trace.dump(path)
+        again = Trace.load(path)
+        assert len(again) == len(trace)
+        assert again.total_bytes == trace.total_bytes
+        for before, after in zip(trace, again):
+            assert before.to_dict() == after.to_dict()
+
+
+class TestEasylistProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        sub=st.from_regex(r"[a-z]{1,8}", fullmatch=True),
+        path=st.from_regex(r"[a-z0-9/_-]{0,24}", fullmatch=True),
+    )
+    def test_aa_domains_matched_on_any_subdomain_and_path(self, sub, path):
+        """Domain-anchored rules must fire for every subdomain and path
+        of a listed registrable domain."""
+        compiled = bundled_easylist()
+        for domain in ("doubleclick.net", "amobee.com", "google-analytics.com"):
+            url = f"https://{sub}.{domain}/{path}"
+            assert compiled.matches(url, page_host="news.example")

@@ -1,0 +1,192 @@
+"""Tests for the interception proxy: capture, MITM, passthrough, addons."""
+
+import pytest
+
+from repro.http.message import Request
+from repro.http.session import ClientSession
+from repro.http.transport import NetworkError
+from repro.net.trace import SessionMeta
+from repro.proxy.addons import FlowCounter, HostTagger, RequestLogger
+from repro.proxy.meddle import CaptureError, InterceptionProxy
+from repro.tls.certs import PROXY_CA, CaStore
+from repro.tls.handshake import ServerTlsProfile
+
+
+def trusted_store():
+    store = CaStore()
+    store.trust(PROXY_CA)
+    return store
+
+
+def meta():
+    return SessionMeta(service="svc", os_name="android", medium="app")
+
+
+class TestCaptureLifecycle:
+    def test_start_stop(self, echo_world):
+        _, _, proxy = echo_world
+        proxy.start_capture(meta())
+        assert proxy.capturing
+        trace = proxy.stop_capture()
+        assert not proxy.capturing
+        assert len(trace) == 0
+
+    def test_double_start_rejected(self, echo_world):
+        _, _, proxy = echo_world
+        proxy.start_capture(meta())
+        with pytest.raises(CaptureError):
+            proxy.start_capture(meta())
+
+    def test_stop_without_start_rejected(self, echo_world):
+        _, _, proxy = echo_world
+        with pytest.raises(CaptureError):
+            proxy.stop_capture()
+
+
+class TestRecording:
+    def _session(self, proxy, tags=None):
+        return ClientSession(proxy.transport_for(trusted_store(), tags=tags))
+
+    def test_https_flow_decrypted_and_recorded(self, echo_world):
+        _, _, proxy = echo_world
+        proxy.start_capture(meta())
+        self._session(proxy).get("https://api.example.com/v1?q=secret")
+        trace = proxy.stop_capture()
+        assert len(trace) == 1
+        flow = trace.flows[0]
+        assert flow.tls is not None and flow.tls.intercepted
+        assert flow.decrypted
+        assert "q=secret" in flow.transactions[0].request.url
+
+    def test_http_flow_recorded_without_tls(self, echo_world):
+        _, _, proxy = echo_world
+        proxy.start_capture(meta())
+        self._session(proxy).get("http://api.example.com/plain")
+        trace = proxy.stop_capture()
+        assert trace.flows[0].tls is None
+        assert trace.flows[0].scheme == "http"
+
+    def test_untrusted_device_cannot_be_mitmed(self, echo_world):
+        """Without the proxy CA installed, HTTPS through the proxy fails."""
+        _, _, proxy = echo_world
+        proxy.start_capture(meta())
+        session = ClientSession(proxy.transport_for(CaStore()))
+        with pytest.raises(NetworkError):
+            session.get("https://api.example.com/x")
+        trace = proxy.stop_capture()
+        assert "tls-failed" in trace.flows[0].tags
+
+    def test_pinned_app_connection_fails(self, echo_world):
+        network, clock, proxy = echo_world
+        from .conftest import EchoHandler
+
+        network.register("pinned.example", EchoHandler(), tls=ServerTlsProfile.pinned("pinned.example"))
+        proxy.start_capture(meta())
+        session = ClientSession(proxy.transport_for(trusted_store()), enforce_pins=True)
+        with pytest.raises(NetworkError):
+            session.get("https://pinned.example/x")
+        trace = proxy.stop_capture()
+        assert trace.flows[0].tags == {"tls-failed"}
+
+    def test_passthrough_host_opaque_but_counted(self, echo_world):
+        network, clock, proxy = echo_world
+        from .conftest import EchoHandler
+
+        network.register("pinned.example", EchoHandler(), tls=ServerTlsProfile.pinned("pinned.example"))
+        proxy.passthrough_hosts.add("pinned.example")
+        proxy.start_capture(meta())
+        session = ClientSession(proxy.transport_for(trusted_store()), enforce_pins=True)
+        response = session.get("https://pinned.example/x")
+        assert response.response.status == 200
+        trace = proxy.stop_capture()
+        flow = trace.flows[0]
+        assert not flow.decrypted
+        assert flow.transactions == []
+        assert flow.total_bytes > 0
+
+    def test_flows_tagged_by_transport(self, echo_world):
+        _, _, proxy = echo_world
+        proxy.start_capture(meta())
+        self._session(proxy, tags={"background"}).get("https://api.example.com/bg")
+        trace = proxy.stop_capture()
+        assert "background" in trace.flows[0].tags
+
+    def test_flow_ids_unique_across_captures(self, echo_world):
+        _, _, proxy = echo_world
+        proxy.start_capture(meta())
+        self._session(proxy).get("https://api.example.com/a")
+        first = proxy.stop_capture()
+        proxy.start_capture(meta())
+        self._session(proxy).get("https://api.example.com/b")
+        second = proxy.stop_capture()
+        assert first.flows[0].flow_id != second.flows[0].flow_id
+
+    def test_timestamps_from_clock(self, echo_world):
+        _, clock, proxy = echo_world
+        clock.advance(100.0)
+        proxy.start_capture(meta())
+        self._session(proxy).get("https://api.example.com/x")
+        trace = proxy.stop_capture()
+        assert trace.flows[0].ts_start == 100.0
+        assert trace.flows[0].transactions[0].timestamp == 100.0
+
+    def test_body_truncation_preserves_accounting(self, echo_world):
+        network, _, proxy = echo_world
+        from repro.http.message import Response
+
+        class Big:
+            def handle(self, request):
+                return Response.build(200, b"z" * 100_000, "application/octet-stream")
+
+        network.register("big.example", Big(), tls=ServerTlsProfile.standard("big.example"))
+        proxy.max_stored_body = 1024
+        proxy.start_capture(meta())
+        self._session(proxy).get("https://big.example/blob")
+        trace = proxy.stop_capture()
+        flow = trace.flows[0]
+        assert len(flow.transactions[0].response.body) == 1024
+        assert flow.bytes_down > 100_000
+
+    def test_unrecorded_when_not_capturing(self, echo_world):
+        _, _, proxy = echo_world
+        # No capture started: traffic still flows, nothing recorded.
+        response = self._session(proxy).get("https://api.example.com/x")
+        assert response.response.status == 200
+
+
+class TestAddons:
+    def test_flow_counter(self, echo_world):
+        _, _, proxy = echo_world
+        counter = FlowCounter()
+        proxy.add_addon(counter)
+        proxy.start_capture(meta())
+        session = ClientSession(proxy.transport_for(trusted_store()))
+        session.get("https://api.example.com/1")
+        session.get("https://api.example.com/2")
+        proxy.stop_capture()
+        assert counter.connects == 1  # keep-alive reuse
+        assert counter.requests == 2
+        assert counter.responses == 2
+
+    def test_host_tagger(self, echo_world):
+        network, _, proxy = echo_world
+        tagger = HostTagger("os-service", ["api.example.com", "*.play.example"])
+        proxy.add_addon(tagger)
+        proxy.start_capture(meta())
+        ClientSession(proxy.transport_for(trusted_store())).get("https://api.example.com/x")
+        trace = proxy.stop_capture()
+        assert "os-service" in trace.flows[0].tags
+
+    def test_host_tagger_wildcards(self):
+        tagger = HostTagger("t", ["*.g.example"])
+        assert tagger.matches("mtalk.g.example")
+        assert not tagger.matches("g.example")
+
+    def test_request_logger(self, echo_world):
+        _, _, proxy = echo_world
+        seen = []
+        proxy.add_addon(RequestLogger(lambda flow, request: seen.append(request.url.path)))
+        proxy.start_capture(meta())
+        ClientSession(proxy.transport_for(trusted_store())).get("https://api.example.com/logged")
+        proxy.stop_capture()
+        assert seen == ["/logged"]

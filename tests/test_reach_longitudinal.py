@@ -1,0 +1,163 @@
+"""Tests for tracker reach, longitudinal diffing, and ReCon metrics."""
+
+import pytest
+
+from repro.analysis.longitudinal import (
+    diff_studies,
+    render_drift,
+    summarize_drift,
+)
+from repro.analysis.reach import (
+    CROSS_PLATFORM_KEYS,
+    render_reach,
+    summarize_reach,
+    tracker_reach,
+)
+from repro.pii.recon import (
+    ReconClassifier,
+    TypeMetrics,
+    evaluate_classifier,
+    render_metrics,
+)
+from repro.pii.types import PiiType
+
+
+class TestTrackerReach:
+    def test_reach_computed_for_aa_domains(self, mini_study):
+        reaches = tracker_reach(mini_study)
+        assert "google-analytics.com" in reaches
+        ga = reaches["google-analytics.com"]
+        assert ga.reach >= 4
+        assert ga.services_both  # same tracker on both media
+
+    def test_device_ids_never_join_keys(self, mini_study):
+        """UID/device info cannot link app and web sessions — the web
+        side never carries them (the paper's central §4.2 point)."""
+        for entry in tracker_reach(mini_study).values():
+            assert PiiType.UNIQUE_ID not in entry.join_keys
+            assert PiiType.DEVICE_INFO not in entry.join_keys
+            assert entry.join_keys <= CROSS_PLATFORM_KEYS
+
+    def test_app_exclusive_types_exist(self, mini_study):
+        reaches = tracker_reach(mini_study)
+        assert any(r.app_exclusive_types for r in reaches.values())
+
+    def test_summary(self, mini_study):
+        summary = summarize_reach(mini_study)
+        assert summary.trackers > 10
+        assert 0 < summary.cross_platform_trackers <= summary.trackers
+        assert summary.max_reach >= 4
+        assert summary.app_exclusive_collectors
+
+    def test_render(self, mini_study):
+        text = render_reach(mini_study, top=5)
+        assert "A&A Domain" in text
+        assert len(text.splitlines()) <= 7
+
+    def test_summary_requires_exposure(self):
+        from repro.core.pipeline import StudyResult
+
+        with pytest.raises(ValueError):
+            summarize_reach(StudyResult())
+
+
+class TestLongitudinal:
+    def test_identical_studies_show_no_drift(self, mini_study):
+        summary = summarize_drift(mini_study, mini_study)
+        assert summary.services_compared == len(mini_study.services)
+        assert summary.unchanged == summary.services_compared
+        assert summary.improved == 0
+        assert summary.regressed == 0
+
+    def test_diff_detects_removed_types(self, mini_study):
+        import copy
+
+        after = copy.deepcopy(mini_study)
+        grubhub = after.by_slug("grubhub")
+        # Simulate the Grubhub fix: the password leak disappears.
+        for analysis in grubhub.sessions.values():
+            analysis.leaks = [
+                r for r in analysis.leaks if r.pii_type != PiiType.PASSWORD
+            ]
+        drifts = diff_studies(mini_study, after)
+        app_drift = next(
+            d for d in drifts if d.service == "grubhub" and d.medium == "app"
+        )
+        assert PiiType.PASSWORD in app_drift.types_removed
+        assert app_drift.improved
+        summary = summarize_drift(mini_study, after)
+        assert summary.improved == 1
+        assert summary.regressed == 0
+
+    def test_diff_detects_added_types(self, mini_study):
+        import copy
+        from repro.core.leaks import LeakRecord
+        from repro.pii.detector import PiiObservation
+        from repro.trackerdb.categorize import FlowCategory, THIRD_PARTY_AA
+
+        after = copy.deepcopy(mini_study)
+        netflix = after.by_slug("netflix")
+        cell = netflix.cell("android", "app")
+        observation = PiiObservation(
+            pii_type=PiiType.GENDER, hostname="t.x.com", domain="x.com",
+            url="https://t.x.com/", timestamp=0, flow_id=0, plaintext=False,
+        )
+        cell.leaks.append(
+            LeakRecord(
+                observation=observation,
+                category=FlowCategory(label=THIRD_PARTY_AA, domain="x.com"),
+                reason="third_party",
+            )
+        )
+        summary = summarize_drift(mini_study, after)
+        assert summary.regressed == 1
+
+    def test_catalog_churn_skipped(self, mini_study):
+        from repro.core.pipeline import StudyResult
+
+        partial = StudyResult(services=mini_study.services[:2])
+        drifts = diff_studies(partial, mini_study)
+        assert {d.service for d in drifts} == {
+            r.spec.slug for r in mini_study.services[:2]
+        }
+
+    def test_render(self, mini_study):
+        text = render_drift(summarize_drift(mini_study, mini_study))
+        assert "services compared" in text
+
+
+class TestReconMetrics:
+    def test_type_metrics_math(self):
+        metrics = TypeMetrics(PiiType.EMAIL, true_positives=8, false_positives=2, false_negatives=2)
+        assert metrics.precision == pytest.approx(0.8)
+        assert metrics.recall == pytest.approx(0.8)
+        assert metrics.f1 == pytest.approx(0.8)
+
+    def test_zero_division_safe(self):
+        metrics = TypeMetrics(PiiType.EMAIL)
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_evaluate_on_study_traffic(self, mini_study):
+        """ReCon achieves usable precision/recall on held-in traffic."""
+        from repro.experiment.filtering import filter_background
+        from repro.pii.matcher import GroundTruthMatcher
+
+        examples = []
+        for record in mini_study.dataset:
+            matcher = GroundTruthMatcher(record.ground_truth)
+            for flow in filter_background(record.trace):
+                if not flow.decrypted:
+                    continue
+                for txn in flow.transactions[:3]:
+                    labels = {m.pii_type for m in matcher.match_request(txn.request)}
+                    examples.append(ReconClassifier.make_example(txn.request, labels))
+        metrics = evaluate_classifier(mini_study.recon, examples)
+        assert metrics
+        location = metrics.get(PiiType.LOCATION)
+        assert location is not None
+        assert location.recall > 0.5
+        assert location.precision > 0.5
+        text = render_metrics(metrics)
+        assert "prec" in text and "Location" in text

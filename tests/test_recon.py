@@ -1,0 +1,189 @@
+"""Tests for the ReCon-style classifier: features, trees, training."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.flow import CapturedRequest
+from repro.pii.recon import (
+    DecisionTree,
+    ReconClassifier,
+    TrainingExample,
+    featurize,
+    train_from_traces,
+)
+from repro.pii.types import PiiType
+
+
+def beacon(domain, pairs):
+    query = "&".join(f"{k}={v}" for k, v in pairs)
+    return CapturedRequest("GET", f"https://{domain}/collect?{query}", headers=[("Host", domain)])
+
+
+class TestFeaturize:
+    def test_domain_and_keys(self):
+        features = featurize(beacon("t.tracker.com", [("email", "a@b.c"), ("v", "1")]))
+        assert "domain:tracker.com" in features
+        assert "key:email" in features
+        assert "kv:email=email_like" in features
+        assert "method:GET" in features
+
+    def test_path_segments(self):
+        features = featurize(CapturedRequest("GET", "https://x.com/api/v2/users", headers=[]))
+        assert "path:api" in features
+        assert "path:users" in features
+
+    def test_value_shapes(self):
+        features = featurize(
+            beacon(
+                "t.com",
+                [
+                    ("adid", "01234567-89ab-cdef-0123-456789abcdef"),
+                    ("h", "d41d8cd98f00b204e9800998ecf8427e"),
+                    ("imei", "358240051234567"),
+                    ("lat", "42.36"),
+                ],
+            )
+        )
+        assert "kv:adid=uuid" in features
+        assert "kv:h=hexdigest32" in features
+        assert "kv:imei=digits_long" in features
+        assert "kv:lat=float" in features
+
+
+class TestDecisionTree:
+    def _dataset(self, rng, n=200):
+        samples, labels = [], []
+        for i in range(n):
+            positive = rng.random() < 0.5
+            features = {"key:v", f"noise:{rng.randrange(5)}"}
+            if positive:
+                features.add("key:email")
+            if rng.random() < 0.1:  # label noise
+                positive = not positive
+            samples.append(features)
+            labels.append(positive)
+        return samples, labels
+
+    def test_learns_simple_rule(self):
+        rng = random.Random(0)
+        samples, labels = self._dataset(rng)
+        tree = DecisionTree(max_depth=3)
+        tree.fit(samples, labels)
+        assert tree.predict({"key:email", "key:v"})
+        assert not tree.predict({"key:v"})
+
+    def test_probability_bounds(self):
+        rng = random.Random(1)
+        samples, labels = self._dataset(rng)
+        tree = DecisionTree().fit(samples, labels)
+        for features in samples:
+            assert 0.0 <= tree.predict_proba(features) <= 1.0
+
+    def test_depth_limited(self):
+        rng = random.Random(2)
+        samples = [{f"f{i}", f"g{rng.randrange(10)}"} for i in range(100)]
+        labels = [rng.random() < 0.5 for _ in range(100)]
+        tree = DecisionTree(max_depth=2, min_samples_leaf=1).fit(samples, labels)
+        assert tree.depth() <= 2
+
+    def test_pure_labels_give_leaf(self):
+        tree = DecisionTree().fit([{"a"}, {"b"}], [True, True])
+        assert tree.predict_proba({"anything"}) == 1.0
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit([], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTree().fit([{"a"}], [True, False])
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict_proba({"a"})
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTree(max_depth=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_never_crashes_on_random_data(self, seed):
+        rng = random.Random(seed)
+        samples = [
+            {f"f{rng.randrange(6)}" for _ in range(rng.randrange(1, 4))} for _ in range(30)
+        ]
+        labels = [rng.random() < 0.4 for _ in range(30)]
+        if not any(labels) or all(labels):
+            labels[0] = not labels[0]
+        tree = DecisionTree(min_samples_leaf=2).fit(samples, labels)
+        assert 0.0 <= tree.predict_proba(samples[0]) <= 1.0
+
+
+def _training_examples(rng, n=300):
+    examples = []
+    for i in range(n):
+        kind = rng.randrange(3)
+        if kind == 0:
+            request = beacon("tracker-a.com", [("email", "user@x.com"), ("v", str(i))])
+            labels = {PiiType.EMAIL}
+        elif kind == 1:
+            request = beacon("tracker-b.com", [("lat", "42.1"), ("lon", "-71.2"), ("v", str(i))])
+            labels = {PiiType.LOCATION}
+        else:
+            request = beacon("cdn-c.com", [("v", str(i)), ("page", "home")])
+            labels = set()
+        examples.append(ReconClassifier.make_example(request, labels))
+    return examples
+
+
+class TestReconClassifier:
+    def test_learns_per_type(self):
+        rng = random.Random(3)
+        classifier = ReconClassifier(min_domain_samples=10_000)  # global trees only
+        classifier.fit(_training_examples(rng))
+        predictions = classifier.predict(beacon("tracker-a.com", [("email", "other@y.org")]))
+        types = {p.pii_type for p in predictions}
+        assert PiiType.EMAIL in types
+        clean = classifier.predict(beacon("cdn-c.com", [("page", "about")]))
+        assert {p.pii_type for p in clean} == set()
+
+    def test_extracts_value_by_synonym(self):
+        rng = random.Random(4)
+        classifier = ReconClassifier().fit(_training_examples(rng))
+        predictions = classifier.predict(beacon("tracker-a.com", [("email", "z@q.net")]))
+        email = next(p for p in predictions if p.pii_type == PiiType.EMAIL)
+        assert email.extracted_key == "email"
+        assert email.extracted_value == "z@q.net"
+
+    def test_domain_specialists_trained(self):
+        rng = random.Random(5)
+        classifier = ReconClassifier(min_domain_samples=20)
+        classifier.fit(_training_examples(rng, n=400))
+        # tracker-a has ~133 samples with mixed labels? per-domain labels
+        # are uniform here, so specialists may be skipped; the classifier
+        # must still predict through the global tree.
+        assert classifier.trained_types
+
+    def test_fit_requires_examples(self):
+        with pytest.raises(ValueError):
+            ReconClassifier().fit([])
+
+    def test_probability_threshold_respected(self):
+        rng = random.Random(6)
+        strict = ReconClassifier(threshold=1.01).fit(_training_examples(rng))
+        assert strict.predict(beacon("tracker-a.com", [("email", "a@b.c")])) == []
+
+
+class TestTrainFromTraces:
+    def test_end_to_end_training(self, mini_study):
+        """ReCon trained inside the study pipeline finds planted PII."""
+        recon = mini_study.recon
+        assert recon is not None
+        assert recon.trained_types
+        # A location beacon shaped like the simulated SDK traffic:
+        request = beacon("rrtb.amobee.com", [("lat", "42.36"), ("lon", "-71.05"), ("zip", "02115")])
+        predictions = recon.predict(request)
+        assert any(p.pii_type == PiiType.LOCATION for p in predictions)

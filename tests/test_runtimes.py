@@ -1,0 +1,189 @@
+"""Tests for the app/web service runtimes driving traffic."""
+
+import random
+
+import pytest
+
+from repro.device.browser import Browser
+from repro.device.persona import generate_persona
+from repro.device.phone import Phone, PhoneSpec
+from repro.net.trace import SessionMeta
+from repro.pii.types import PiiType
+from repro.services.catalog import build_catalog
+from repro.services.service import AppRuntime, WebRuntime
+from repro.services.world import build_world
+
+
+def _session_env(slug, os_name="android"):
+    catalog = [s for s in build_catalog() if s.slug == slug]
+    world = build_world(catalog)
+    rng = random.Random(11)
+    spec = catalog[0]
+    phone_spec = PhoneSpec.nexus5() if os_name == "android" else PhoneSpec.iphone5()
+    phone = Phone(phone_spec, world.network, rng)
+    phone.sign_in(generate_persona(rng).fresh_account(slug, rng))
+    phone.connect_vpn(world.proxy)
+    return world, spec, phone, rng
+
+
+def capture(world, fn):
+    world.proxy.start_capture(SessionMeta(service="s", os_name="android", medium="app"))
+    fn()
+    return world.proxy.stop_capture()
+
+
+class TestAppRuntime:
+    def test_launch_contacts_first_party_and_sdks(self):
+        world, spec, phone, rng = _session_env("yelp")
+        phone.install_app("yelp")
+        runtime = AppRuntime(spec, phone, world.clock, rng)
+        trace = capture(world, runtime.launch)
+        hosts = trace.hostnames()
+        assert "api.yelp.com" in hosts
+        assert any("google-analytics" in h for h in hosts)
+
+    def test_launch_requests_permissions(self):
+        world, spec, phone, rng = _session_env("yelp")
+        phone.install_app("yelp")
+        runtime = AppRuntime(spec, phone, world.clock, rng)
+        runtime.launch()
+        from repro.device.phone import Permission
+
+        assert phone.has_permission("yelp", Permission.LOCATION)
+
+    def test_login_posts_credentials_first_party(self):
+        world, spec, phone, rng = _session_env("yelp")
+        phone.install_app("yelp")
+        runtime = AppRuntime(spec, phone, world.clock, rng)
+        # Capture must start before launch: connections opened earlier
+        # keep flowing outside the trace (mitmproxy semantics).
+        trace = capture(world, lambda: (runtime.launch(), runtime.login()))
+        login_requests = [
+            txn for flow in trace for txn in flow.transactions
+            if "/api/login" in txn.request.url
+        ]
+        assert login_requests
+        assert phone.persona.password in login_requests[0].request.body.decode()
+
+    def test_identity_provider_login_post(self):
+        world, spec, phone, rng = _session_env("ncaa")
+        phone.install_app("ncaa")
+        runtime = AppRuntime(spec, phone, world.clock, rng)
+        runtime.launch()
+        trace = capture(world, runtime.login)
+        gigya = [f for f in trace if "gigya" in f.hostname]
+        assert gigya
+        body = gigya[0].transactions[0].request.body.decode()
+        assert phone.persona.password in body
+        assert phone.persona.email not in body  # opaque loginID design
+
+    def test_actions_advance_clock(self):
+        world, spec, phone, rng = _session_env("yelp")
+        phone.install_app("yelp")
+        runtime = AppRuntime(spec, phone, world.clock, rng)
+        before = world.clock.now()
+        runtime.perform_action("browse")
+        assert world.clock.now() > before
+        assert runtime.stats.actions == 1
+
+    def test_ad_sdk_fetches_creative(self):
+        world, spec, phone, rng = _session_env("weather")
+        phone.install_app("weather")
+        runtime = AppRuntime(spec, phone, world.clock, rng)
+        runtime.launch()
+        trace = capture(world, lambda: runtime.perform_action("browse"))
+        creative_urls = [
+            txn.request.url for flow in trace for txn in flow.transactions
+            if "/creative" in txn.request.url
+        ]
+        assert creative_urls  # in-app ads fetched directly, no RTB bounce
+
+    def test_plaintext_first_party_for_http_app(self):
+        """Weather apps use plaintext APIs (app_https=False)."""
+        world, spec, phone, rng = _session_env("weather")
+        phone.install_app("weather")
+        runtime = AppRuntime(spec, phone, world.clock, rng)
+        trace = capture(world, runtime.launch)
+        assert any(f.scheme == "http" and "weather" in f.hostname for f in trace)
+
+    def test_close_releases_connections(self):
+        world, spec, phone, rng = _session_env("yelp")
+        phone.install_app("yelp")
+        runtime = AppRuntime(spec, phone, world.clock, rng)
+        runtime.launch()
+        runtime.close()
+        assert runtime.session._pool == {}
+
+
+class TestWebRuntime:
+    def _web(self, slug, os_name="android"):
+        world, spec, phone, rng = _session_env(slug, os_name)
+        browser = Browser(phone)
+        return world, spec, browser, rng
+
+    def test_open_site_loads_page_and_fires_beacons(self):
+        world, spec, browser, rng = self._web("yelp")
+        runtime = WebRuntime(spec, browser, world.clock, rng)
+        trace = capture(world, runtime.open_site)
+        hosts = trace.hostnames()
+        assert "www.yelp.com" in hosts
+        assert any("google-analytics" in h for h in hosts)
+        assert runtime.stats.pages == 1
+
+    def test_search_action_uses_query_url(self):
+        world, spec, browser, rng = self._web("yelp")
+        runtime = WebRuntime(spec, browser, world.clock, rng)
+        trace = capture(
+            world, lambda: (runtime.open_site(), runtime.perform_action("search"))
+        )
+        urls = [txn.request.url for flow in trace for txn in flow.transactions]
+        assert any("/search?q=" in u for u in urls)
+
+    def test_web_login_posts_to_first_party(self):
+        world, spec, browser, rng = self._web("yelp")
+        runtime = WebRuntime(spec, browser, world.clock, rng)
+        runtime.open_site()
+        trace = capture(world, runtime.login)
+        posts = [
+            txn for flow in trace for txn in flow.transactions
+            if txn.request.method == "POST" and "yelp" in flow.hostname
+        ]
+        assert posts
+
+    def test_web_gigya_login(self):
+        world, spec, browser, rng = self._web("foodnetwork")
+        runtime = WebRuntime(spec, browser, world.clock, rng)
+        runtime.open_site()
+        trace = capture(world, runtime.login)
+        gigya = [f for f in trace if "gigya" in f.hostname]
+        assert gigya
+
+    def test_news_site_is_plaintext(self):
+        world, spec, browser, rng = self._web("cnn")
+        runtime = WebRuntime(spec, browser, world.clock, rng)
+        trace = capture(world, runtime.open_site)
+        assert any(f.scheme == "http" and "cnn" in f.hostname for f in trace)
+
+    def test_web_beacons_carry_location_for_weather(self):
+        world, spec, browser, rng = self._web("weather")
+        runtime = WebRuntime(spec, browser, world.clock, rng)
+        trace = capture(
+            world, lambda: (runtime.open_site(), runtime.perform_action("browse"))
+        )
+        persona = browser.phone.persona
+        beacon_urls = [
+            txn.request.url for flow in trace for txn in flow.transactions
+            if "/collect" in txn.request.url or "/telemetry" in txn.request.url
+        ]
+        assert any(persona.zip_code in u for u in beacon_urls)
+
+    def test_ios_only_leak_absent_on_android(self):
+        """Dictionary.com's app location leak is iOS-only by calibration."""
+        world, spec, phone, rng = _session_env("dictionary", os_name="android")
+        phone.install_app("dictionary")
+        runtime = AppRuntime(spec, phone, world.clock, rng)
+        runtime.launch()
+        trace = capture(world, lambda: runtime.perform_action("browse"))
+        persona = phone.persona
+        urls = " ".join(txn.request.url for f in trace for txn in f.transactions)
+        assert persona.zip_code not in urls

@@ -1,0 +1,249 @@
+"""Tests for the third-party registry, handlers, and world assembly."""
+
+import pytest
+
+from repro.http.message import Request
+from repro.http.session import ClientSession
+from repro.http.transport import DirectTransport
+from repro.services import adsdk, thirdparty
+from repro.services.endpoints import FirstPartyHandler
+from repro.services.webtracker import (
+    AnalyticsHandler,
+    CdnHandler,
+    ExchangeHandler,
+    IdentityHandler,
+    handler_for,
+    sized_blob,
+)
+from repro.services.world import build_world
+from repro.services.catalog import build_catalog
+
+
+class TestThirdPartyRegistry:
+    def test_paper_table2_domains_present(self):
+        for domain in (
+            "amobee.com", "moatads.com", "vrvm.com", "google-analytics.com",
+            "facebook.com", "groceryserver.com", "serving-sys.com",
+            "googlesyndication.com", "thebrighttag.com", "tiqcdn.com",
+            "marinsm.com", "criteo.com", "2mdn.net", "monetate.net",
+            "247realmedia.com", "krxd.net", "doubleverify.com",
+            "cloudinary.com", "webtrends.com", "liftoff.io",
+        ):
+            assert thirdparty.get(domain).is_aa
+
+    def test_password_recipients_present(self):
+        assert thirdparty.get("taplytics.com").is_aa  # analytics provider
+        assert not thirdparty.get("gigya.com").is_aa  # identity, not A&A
+        assert not thirdparty.get("usablenet.com").is_aa
+
+    def test_cdns_not_aa(self):
+        assert not thirdparty.get("cloudfront.net").is_aa
+
+    def test_unknown_party_raises(self):
+        with pytest.raises(KeyError):
+            thirdparty.get("nonexistent.example")
+
+    def test_hostnames_default_derivation(self):
+        party = thirdparty.ThirdParty("X", "x-co.com", thirdparty.ANALYTICS)
+        assert party.hostnames == ("x-co.com", "www.x-co.com")
+
+    def test_app_only_parties(self):
+        for domain in ("vrvm.com", "liftoff.io", "yieldmo.com", "taplytics.com"):
+            assert thirdparty.get(domain).media == ("app",)
+
+    def test_rtb_partners_are_registered(self):
+        for party in thirdparty.registry().values():
+            for partner in party.rtb_partners:
+                thirdparty.get(partner)  # must not raise
+
+
+class TestSdkProfiles:
+    def test_known_profile(self):
+        profile = adsdk.profile_for("amobee.com")
+        assert profile.serves_ads
+        assert profile.beacons_per_action >= 10  # the Table 2 outlier
+
+    def test_unknown_domain_gets_default(self):
+        profile = adsdk.profile_for("new-sdk.example")
+        assert profile.beacons_per_action == 1
+        assert not profile.serves_ads
+
+    def test_quiet_vs_chatty_split(self):
+        assert adsdk.profile_for("google-analytics.com").beacons_per_action == 1
+        assert adsdk.profile_for("moatads.com").beacons_per_action >= 2
+
+
+def req(url, method="GET", body=b""):
+    return Request.build(method, url, body=body, content_type="application/json" if body else "")
+
+
+class TestHandlers:
+    def test_sized_blob_deterministic_and_bounded(self):
+        a = sized_blob("seed", 100, 200)
+        b = sized_blob("seed", 100, 200)
+        assert a == b
+        assert 100 <= len(a) <= 200
+        assert sized_blob("other", 100, 200) != a
+
+    def test_sized_blob_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            sized_blob("s", 10, 5)
+
+    def test_analytics_beacon_returns_gif_and_cookie(self):
+        handler = AnalyticsHandler(thirdparty.get("google-analytics.com"))
+        response = handler.handle(req("https://www.google-analytics.com/collect?v=1"))
+        assert response.status == 200
+        assert response.content_type == "image/gif"
+        assert "uid=" in (response.headers.get("Set-Cookie") or "")
+        assert handler.beacons_received == 1
+
+    def test_analytics_post_returns_json(self):
+        handler = AnalyticsHandler(thirdparty.get("mixpanel.com"))
+        response = handler.handle(req("https://api.mixpanel.com/track", "POST", b"{}"))
+        assert response.content_type == "application/json"
+
+    def test_analytics_cookie_stable_per_client(self):
+        handler = AnalyticsHandler(thirdparty.get("google-analytics.com"))
+        first = handler.handle(req("https://www.google-analytics.com/collect"))
+        cookie = first.headers.get("Set-Cookie").split(";")[0]
+        request = req("https://www.google-analytics.com/collect")
+        request.headers.set("Cookie", cookie)
+        second = handler.handle(request)
+        assert second.headers.get("Set-Cookie") is None  # already identified
+
+    def test_analytics_serves_tag_script(self):
+        handler = AnalyticsHandler(thirdparty.get("google-analytics.com"))
+        response = handler.handle(req("https://www.google-analytics.com/tag.js"))
+        assert response.content_type == "application/javascript"
+        assert len(response.body) > 1000
+
+    def test_exchange_creative_direct(self):
+        handler = ExchangeHandler(thirdparty.get("doubleclick.net"))
+        response = handler.handle(req("https://ad.doubleclick.net/creative?slot=1"))
+        assert response.content_type == "image/jpeg"
+        assert len(response.body) >= 8000
+
+    def test_exchange_ad_starts_chain(self):
+        handler = ExchangeHandler(thirdparty.get("doubleclick.net"))
+        response = handler.handle(req("https://ad.doubleclick.net/ad?slot=0&pub=x.com"))
+        assert response.status == 302
+        assert "adnxs.com" in response.headers.get("Location")
+        assert handler.ad_requests == 1
+
+    def test_exchange_without_partners_serves_directly(self):
+        handler = ExchangeHandler(thirdparty.get("openx.net"))
+        response = handler.handle(req("https://u.openx.net/ad?slot=0"))
+        assert response.status == 200
+        assert response.content_type == "image/jpeg"
+
+    def test_exchange_beacon_not_a_creative(self):
+        handler = ExchangeHandler(thirdparty.get("doubleclick.net"))
+        response = handler.handle(req("https://ad.doubleclick.net/sdk/event?x=1"))
+        assert response.content_type == "image/gif"
+        assert len(response.body) < 100
+
+    def test_identity_login_counted(self):
+        handler = IdentityHandler(thirdparty.get("gigya.com"))
+        response = handler.handle(req("https://accounts.gigya.com/accounts/login", "POST", b'{"password":"x"}'))
+        assert response.status == 200
+        assert b"sessionToken" in response.body
+        assert handler.logins_received == 1
+
+    def test_cdn_content_types(self):
+        handler = CdnHandler(thirdparty.get("cloudfront.net"))
+        assert handler.handle(req("https://d1cdn.cloudfront.net/x.js")).content_type == "application/javascript"
+        assert handler.handle(req("https://d1cdn.cloudfront.net/x.css")).content_type == "text/css"
+        assert handler.handle(req("https://d1cdn.cloudfront.net/x.jpg")).content_type == "image/jpeg"
+
+    def test_handler_for_every_party(self):
+        for domain, party in thirdparty.registry().items():
+            assert handler_for(party) is not None
+
+    def test_full_rtb_chain_traverses_all_partners(self, echo_world):
+        """Follow a doubleclick chain end to end through the world."""
+        world = build_world(build_catalog()[:1])
+        session = ClientSession(DirectTransport(world.network))
+        result = session.get("https://ad.doubleclick.net/ad?slot=0&pub=indeed.com")
+        assert result.response.status == 200
+        hop_hosts = [str(url).split("/")[2] for url, _ in result.hops]
+        assert hop_hosts[0] == "ad.doubleclick.net"
+        assert len(result.hops) == 5  # 4 partners + creative redirect
+        assert len(session.cookie_jar) == 5  # every hop dropped an ID
+
+
+class TestFirstPartyHandler:
+    def _handler(self):
+        return FirstPartyHandler(build_catalog()[0])  # Indeed
+
+    def test_page_embeds_trackers(self):
+        handler = FirstPartyHandler([s for s in build_catalog() if s.slug == "cnn"][0])
+        response = handler.handle(req("http://www.cnn.com/"))
+        html = response.body.decode()
+        assert "b.scorecardresearch.com" in html
+        assert "/ad?" in html  # ad slots
+        assert response.content_type.startswith("text/html")
+
+    def test_page_deterministic(self):
+        first = self._handler().handle(req("https://www.indeed.com/jobs/1")).body
+        second = self._handler().handle(req("https://www.indeed.com/jobs/1")).body
+        assert first == second
+
+    def test_api_returns_json(self):
+        response = self._handler().handle(req("https://api.indeed.com/api/feed?page=0"))
+        assert response.content_type == "application/json"
+
+    def test_api_login_sets_session_cookie(self):
+        handler = self._handler()
+        response = handler.handle(req("https://api.indeed.com/api/login", "POST", b'{"login":"a"}'))
+        assert b"token" in response.body
+        assert "session=" in (response.headers.get("Set-Cookie") or "")
+        assert handler.logins == 1
+
+    def test_web_login_redirects(self):
+        from repro.http.body import encode_form
+
+        handler = self._handler()
+        request = Request.build(
+            "POST", "https://www.indeed.com/login",
+            body=encode_form([("login", "a"), ("password", "b")]),
+            content_type="application/x-www-form-urlencoded",
+        )
+        response = handler.handle(request)
+        assert response.status == 302
+        assert response.headers.get("Location") == "/account"
+
+    def test_static_assets(self):
+        handler = self._handler()
+        assert handler.handle(req("https://www.indeed.com/static/site.css")).content_type == "text/css"
+        assert handler.handle(req("https://www.indeed.com/static/img-x-1.jpg")).content_type == "image/jpeg"
+
+    def test_telemetry_is_no_content(self):
+        assert self._handler().handle(req("https://www.indeed.com/telemetry?x=1")).status == 204
+
+
+class TestWorld:
+    def test_world_routes_all_catalog_domains(self):
+        catalog = build_catalog()
+        world = build_world(catalog)
+        for spec in catalog:
+            assert world.network.knows(spec.www_host)
+            assert world.network.knows(spec.api_host)
+            for domain in spec.extra_domains:
+                assert world.network.knows(f"cdn.{domain}")
+
+    def test_world_routes_all_third_parties(self):
+        world = build_world(build_catalog()[:2])
+        for party in thirdparty.registry().values():
+            for host in party.hostnames:
+                assert world.network.knows(host)
+
+    def test_world_routes_os_services(self):
+        world = build_world(build_catalog()[:1])
+        assert world.network.knows("play.googleapis.com")
+        assert world.network.knows("push.apple.com")
+
+    def test_service_lookup(self):
+        world = build_world(build_catalog()[:3])
+        assert world.service("indeed").name == "Indeed Job Search"
+        with pytest.raises(KeyError):
+            world.service("missing")

@@ -1,0 +1,113 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    cdf_at,
+    cdf_points,
+    format_mean_std,
+    fraction,
+    mean,
+    mean_std,
+    pdf_histogram,
+    percentile,
+    std,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestMeanStd:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_std_population(self):
+        assert std([2, 4]) == 1.0  # population std, not sample
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            std([])
+
+    def test_format(self):
+        assert format_mean_std([2, 4]) == "3.0 ± 1.0"
+        assert format_mean_std([]) == "-"
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_std_nonnegative(self, values):
+        assert std(values) >= 0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_mean_within_bounds(self, values):
+        assert min(values) <= mean(values) <= max(values)
+
+
+class TestCdf:
+    def test_points_monotonic_to_100(self):
+        points = cdf_points([3, 1, 2, 2])
+        xs = [x for x, _ in points]
+        ps = [p for _, p in points]
+        assert xs == sorted(set(xs))
+        assert ps == sorted(ps)
+        assert ps[-1] == 100.0
+
+    def test_duplicates_collapsed(self):
+        points = cdf_points([5, 5, 5])
+        assert points == [(5, 100.0)]
+
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_cdf_at(self):
+        values = [-2, -1, 0, 1]
+        assert cdf_at(values, -1) == 50.0
+        assert cdf_at(values, -3) == 0.0
+        assert cdf_at(values, 10) == 100.0
+        assert cdf_at([], 0) == 0.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50), finite_floats)
+    def test_cdf_at_bounds(self, values, x):
+        assert 0.0 <= cdf_at(values, x) <= 100.0
+
+
+class TestPdf:
+    def test_bins_sum_to_100(self):
+        bins = pdf_histogram([1, 1, 2, 3])
+        assert sum(p for _, p in bins) == pytest.approx(100.0)
+
+    def test_integer_binning(self):
+        bins = dict(pdf_histogram([0.9, 1.1, 2.0]))
+        assert bins[1] == pytest.approx(200 / 3)
+        assert bins[2] == pytest.approx(100 / 3)
+
+    def test_empty(self):
+        assert pdf_histogram([]) == []
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_extremes(self):
+        assert percentile([1, 2, 3], 100) == 3
+        assert percentile([1, 2, 3], 1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 0)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestFraction:
+    def test_basic(self):
+        assert fraction([1, 2, 3, 4], lambda v: v % 2 == 0) == 0.5
+
+    def test_empty(self):
+        assert fraction([], lambda v: True) == 0.0

@@ -1,0 +1,114 @@
+"""Tests for certificates, trust, pinning, and handshake semantics."""
+
+import pytest
+
+from repro.tls.certs import (
+    PROXY_CA,
+    PUBLIC_CA,
+    CaStore,
+    CertificateError,
+    make_certificate,
+    pin_for,
+)
+from repro.tls.handshake import HandshakeError, ServerTlsProfile, negotiate
+
+
+class TestCertificates:
+    def test_exact_and_wildcard_names(self):
+        cert = make_certificate("e.com", PUBLIC_CA)
+        assert cert.matches_host("e.com")
+        assert cert.matches_host("www.e.com")
+        assert not cert.matches_host("a.b.e.com")  # single-label wildcard
+        assert not cert.matches_host("note.com")
+
+    def test_validity_window(self):
+        cert = make_certificate("e.com", PUBLIC_CA, not_before=10, not_after=20)
+        assert not cert.valid_at(5)
+        assert cert.valid_at(15)
+        assert not cert.valid_at(25)
+
+    def test_fingerprint_depends_on_issuer(self):
+        real = make_certificate("e.com", PUBLIC_CA)
+        forged = make_certificate("e.com", PROXY_CA)
+        assert real.fingerprint != forged.fingerprint
+
+
+class TestCaStore:
+    def test_default_trusts_public_ca_only(self):
+        store = CaStore()
+        assert store.is_trusted(make_certificate("e.com", PUBLIC_CA))
+        assert not store.is_trusted(make_certificate("e.com", PROXY_CA))
+
+    def test_trust_and_distrust(self):
+        store = CaStore()
+        store.trust(PROXY_CA)
+        assert store.is_trusted(make_certificate("e.com", PROXY_CA))
+        store.distrust(PROXY_CA)
+        assert not store.is_trusted(make_certificate("e.com", PROXY_CA))
+
+    def test_validate_checks_name(self):
+        store = CaStore()
+        cert = make_certificate("e.com", PUBLIC_CA)
+        with pytest.raises(CertificateError):
+            store.validate(cert, "other.com", now=0)
+
+    def test_validate_checks_expiry(self):
+        store = CaStore()
+        cert = make_certificate("e.com", PUBLIC_CA, not_after=5)
+        with pytest.raises(CertificateError):
+            store.validate(cert, "e.com", now=10)
+
+
+class TestPinning:
+    def test_pin_accepts_real_cert(self):
+        pins = pin_for("e.com")
+        assert pins.accepts(make_certificate("e.com", PUBLIC_CA))
+
+    def test_pin_rejects_proxy_cert(self):
+        pins = pin_for("e.com")
+        assert not pins.accepts(make_certificate("e.com", PROXY_CA))
+
+
+class TestNegotiate:
+    def test_plain_handshake(self):
+        profile = ServerTlsProfile.standard("e.com")
+        result = negotiate(profile, CaStore(), now=0)
+        assert not result.intercepted
+        assert not result.pinned
+        assert result.sni == "e.com"
+
+    def test_intercept_requires_proxy_ca_trust(self):
+        profile = ServerTlsProfile.standard("e.com")
+        with pytest.raises(HandshakeError):
+            negotiate(profile, CaStore(), now=0, intercept=True)
+
+    def test_intercept_with_trusted_proxy_ca(self):
+        profile = ServerTlsProfile.standard("e.com")
+        store = CaStore()
+        store.trust(PROXY_CA)
+        result = negotiate(profile, store, now=0, intercept=True)
+        assert result.intercepted
+        assert result.presented.issuer == PROXY_CA
+
+    def test_pinned_app_aborts_under_mitm(self):
+        """The Facebook/Twitter case: pinning defeats interception."""
+        profile = ServerTlsProfile.pinned("facebook.example")
+        store = CaStore()
+        store.trust(PROXY_CA)
+        with pytest.raises(HandshakeError):
+            negotiate(profile, store, now=0, intercept=True, enforce_pins=True)
+
+    def test_pinned_app_fine_without_mitm(self):
+        profile = ServerTlsProfile.pinned("facebook.example")
+        result = negotiate(profile, CaStore(), now=0, intercept=False, enforce_pins=True)
+        assert result.pinned
+        assert not result.intercepted
+
+    def test_browser_ignores_pins_under_mitm(self):
+        """Browsers do not enforce app pin sets, so MITM still works."""
+        profile = ServerTlsProfile.pinned("facebook.example")
+        store = CaStore()
+        store.trust(PROXY_CA)
+        result = negotiate(profile, store, now=0, intercept=True, enforce_pins=False)
+        assert result.intercepted
+        assert result.pinned

@@ -1,0 +1,260 @@
+"""Tests for PSL logic, the ABP filter engine, EasyList, and categorization."""
+
+import pytest
+
+from repro.net.flow import Flow
+from repro.services import thirdparty
+from repro.trackerdb.abpfilter import FilterList, parse_filter
+from repro.trackerdb.categorize import (
+    FIRST_PARTY,
+    OS_SERVICE,
+    THIRD_PARTY_AA,
+    THIRD_PARTY_OTHER,
+    Categorizer,
+)
+from repro.trackerdb.easylist import bundled_easylist
+from repro.trackerdb.psl import (
+    DomainError,
+    domain_key,
+    public_suffix,
+    registrable_domain,
+    same_party,
+)
+
+
+class TestPsl:
+    @pytest.mark.parametrize(
+        "host,expected",
+        [
+            ("www.example.com", "example.com"),
+            ("example.com", "example.com"),
+            ("a.b.c.example.com", "example.com"),
+            ("news.bbc.co.uk", "bbc.co.uk"),
+            ("shop.example.com.au", "example.com.au"),
+            ("weird.unknowntld", "weird.unknowntld"),
+        ],
+    )
+    def test_registrable_domain(self, host, expected):
+        assert registrable_domain(host) == expected
+
+    def test_bare_suffix_rejected(self):
+        with pytest.raises(DomainError):
+            registrable_domain("com")
+        with pytest.raises(DomainError):
+            registrable_domain("co.uk")
+
+    def test_ip_literal_rejected(self):
+        with pytest.raises(DomainError):
+            registrable_domain("10.0.0.1")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            registrable_domain("")
+
+    def test_public_suffix(self):
+        assert public_suffix("a.b.co.uk") == "co.uk"
+        assert public_suffix("x.io") == "io"
+        assert public_suffix("strange.zzz") == "zzz"
+
+    def test_same_party(self):
+        assert same_party("ads.weather.com", "www.weather.com")
+        assert not same_party("weather.com", "imwx.com")
+
+    def test_domain_key_fallback(self):
+        assert domain_key("10.0.0.1") == "10.0.0.1"
+        assert domain_key("WWW.Example.COM") == "example.com"
+
+
+class TestAbpParsing:
+    def test_comments_and_headers_skipped(self):
+        assert parse_filter("! comment") is None
+        assert parse_filter("[Adblock Plus 2.0]") is None
+        assert parse_filter("") is None
+
+    def test_element_hiding_skipped(self):
+        assert parse_filter("example.com##.ad-banner") is None
+
+    def test_unknown_option_drops_rule(self):
+        assert parse_filter("||x.com^$websocket-frame") is None
+
+    def test_exception_flag(self):
+        rule = parse_filter("@@||good.com^")
+        assert rule.exception
+
+    def test_domain_anchor_matching(self):
+        rule = parse_filter("||tracker.com^")
+        assert rule.matches("https://tracker.com/x")
+        assert rule.matches("http://sub.tracker.com/x")
+        assert rule.matches("https://tracker.com")
+        assert not rule.matches("https://nottracker.com/x")
+        assert not rule.matches("https://tracker.company.com/x".replace("company", "com2"))
+
+    def test_domain_anchor_requires_separator(self):
+        rule = parse_filter("||track.co^")
+        assert not rule.matches("https://track.company.example/")
+
+    def test_wildcard_pattern(self):
+        rule = parse_filter("/banner/*/ad.")
+        assert rule.matches("https://x.com/banner/300x250/ad.jpg")
+        assert not rule.matches("https://x.com/banner/ad.jpg")
+
+    def test_start_anchor(self):
+        rule = parse_filter("|https://exact.com/path")
+        assert rule.matches("https://exact.com/path?q=1")
+        assert not rule.matches("https://other.com/?u=https://exact.com/path")
+
+    def test_end_anchor(self):
+        rule = parse_filter("/tail.js|")
+        assert rule.matches("https://x.com/tail.js")
+        assert not rule.matches("https://x.com/tail.js?v=2")
+
+    def test_third_party_option(self):
+        rule = parse_filter("||ads.com^$third-party")
+        assert rule.matches("https://ads.com/x", is_third_party=True)
+        assert not rule.matches("https://ads.com/x", is_third_party=False)
+
+    def test_first_party_only_option(self):
+        rule = parse_filter("||self.com^$~third-party")
+        assert rule.matches("https://self.com/x", is_third_party=False)
+        assert not rule.matches("https://self.com/x", is_third_party=True)
+
+    def test_resource_type_option(self):
+        rule = parse_filter("||t.com^$script")
+        assert rule.matches("https://t.com/a.js", resource_type="script")
+        assert not rule.matches("https://t.com/a.gif", resource_type="image")
+
+    def test_inverse_resource_type(self):
+        rule = parse_filter("||t.com^$~image")
+        assert rule.matches("https://t.com/a.js", resource_type="script")
+        assert not rule.matches("https://t.com/a.gif", resource_type="image")
+
+    def test_domain_option(self):
+        rule = parse_filter("||w.com^$domain=news.com|~sports.news.com")
+        assert rule.matches("https://w.com/x", page_domain="news.com")
+        assert rule.matches("https://w.com/x", page_domain="blog.news.com")
+        assert not rule.matches("https://w.com/x", page_domain="sports.news.com")
+        assert not rule.matches("https://w.com/x", page_domain="other.com")
+
+
+class TestFilterList:
+    LIST_TEXT = """\
+[Adblock Plus 2.0]
+! test list
+||blocked.com^
+/adserver/^
+@@||blocked.com/allowed/
+||cond.com^$third-party
+"""
+
+    def test_parse_counts(self):
+        compiled = FilterList.parse(self.LIST_TEXT)
+        assert len(compiled) == 4
+
+    def test_block_and_exception(self):
+        compiled = FilterList.parse(self.LIST_TEXT)
+        assert compiled.matches("https://blocked.com/x", page_host="site.com")
+        assert not compiled.matches("https://blocked.com/allowed/x", page_host="site.com")
+
+    def test_path_rule(self):
+        compiled = FilterList.parse(self.LIST_TEXT)
+        # ABP's ^ matches a separator or end-of-address, not a letter.
+        assert compiled.matches("https://anything.com/adserver/?id=1", page_host="site.com")
+        assert not compiled.matches("https://anything.com/adserverx", page_host="site.com")
+
+    def test_first_party_not_blocked_by_third_party_rule(self):
+        compiled = FilterList.parse(self.LIST_TEXT)
+        assert not compiled.matches("https://cond.com/x", page_host="www.cond.com")
+        assert compiled.matches("https://cond.com/x", page_host="other.com")
+
+    def test_match_returns_rule(self):
+        compiled = FilterList.parse(self.LIST_TEXT)
+        rule = compiled.match("https://blocked.com/x", page_host="s.com")
+        assert rule.raw == "||blocked.com^"
+
+
+class TestBundledEasylist:
+    def test_covers_every_aa_party(self):
+        """The curated list must flag every A&A host in the registry."""
+        compiled = bundled_easylist()
+        for domain in sorted(thirdparty.aa_domains()):
+            for host in thirdparty.get(domain).hostnames:
+                assert compiled.matches(
+                    f"https://{host}/x", page_host="weather.com"
+                ), f"uncovered A&A host {host}"
+
+    def test_excludes_identity_and_cdn_parties(self):
+        """Gigya-style identity providers are NOT in EasyList (§4.2)."""
+        compiled = bundled_easylist()
+        for domain in ("gigya.com", "usablenet.com", "cloudfront.net", "akamaihd.net"):
+            for host in thirdparty.get(domain).hostnames:
+                assert not compiled.matches(f"https://{host}/x", page_host="weather.com")
+
+    def test_facebook_first_party_exempt(self):
+        compiled = bundled_easylist()
+        assert not compiled.matches("https://graph.facebook.com/x", page_host="www.facebook.com")
+        assert compiled.matches("https://graph.facebook.com/x", page_host="cnn.com")
+
+    def test_cached_instance(self):
+        assert bundled_easylist() is bundled_easylist()
+
+
+def _flow(hostname, url=None, tags=()):
+    flow = Flow(
+        flow_id=0, ts_start=0, client_ip="10.0.0.2", client_port=1,
+        server_ip="5.6.7.8", server_port=443, hostname=hostname, scheme="https",
+        tags=set(tags),
+    )
+    return flow
+
+
+class TestCategorizer:
+    def _categorizer(self):
+        return Categorizer(
+            ["weather.com", "imwx.com"],
+            os_service_hosts=["play.googleapis.com"],
+            sso_domains=["accounts.google.com"],
+        )
+
+    def test_first_party_including_extra_domains(self):
+        categorizer = self._categorizer()
+        assert categorizer.categorize_host("api.weather.com").label == FIRST_PARTY
+        assert categorizer.categorize_host("cdn.imwx.com").label == FIRST_PARTY
+
+    def test_aa_third_party(self):
+        verdict = self._categorizer().categorize_host("www.google-analytics.com")
+        assert verdict.label == THIRD_PARTY_AA
+        assert verdict.matched_rule is not None
+
+    def test_other_third_party(self):
+        verdict = self._categorizer().categorize_host("ticket.usablenet.com")
+        assert verdict.label == THIRD_PARTY_OTHER
+
+    def test_os_service_by_host(self):
+        assert self._categorizer().categorize_host("play.googleapis.com").label == OS_SERVICE
+
+    def test_os_service_by_tag_wins(self):
+        flow = _flow("www.google-analytics.com", tags=["background"])
+        assert self._categorizer().categorize_flow(flow).label == OS_SERVICE
+
+    def test_sso_detection(self):
+        categorizer = self._categorizer()
+        assert categorizer.is_sso_host("accounts.google.com")
+        assert not categorizer.is_sso_host("evil.com")
+
+    def test_requires_first_party_domain(self):
+        with pytest.raises(ValueError):
+            Categorizer([])
+
+    def test_split_buckets(self):
+        categorizer = self._categorizer()
+        flows = [
+            _flow("www.weather.com"),
+            _flow("www.google-analytics.com"),
+            _flow("ticket.usablenet.com"),
+            _flow("play.googleapis.com"),
+        ]
+        buckets = categorizer.split(flows)
+        assert len(buckets[FIRST_PARTY]) == 1
+        assert len(buckets[THIRD_PARTY_AA]) == 1
+        assert len(buckets[THIRD_PARTY_OTHER]) == 1
+        assert len(buckets[OS_SERVICE]) == 1
