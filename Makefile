@@ -1,0 +1,29 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench bench-all bench-check clean
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# The end-to-end pipeline benchmark (collection + analysis over the
+# 6-service subset) — the number the fast-path work is measured by.
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/test_bench_pipeline.py --benchmark-only \
+		--benchmark-json=BENCH_pipeline.json -q
+
+# Every benchmark, including the full 50-service study fixtures.
+bench-all:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks --benchmark-only \
+		--benchmark-json=BENCH_all.json -q
+
+# Run the pipeline bench and fail on >20% mean regression against the
+# recorded baseline (benchmarks/BENCH_baseline.json; first run records it).
+bench-check: bench
+	$(PYTHON) benchmarks/check_regression.py BENCH_pipeline.json
+
+clean:
+	rm -f BENCH_pipeline.json BENCH_all.json
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against the recorded baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_pipeline.json \
+        [--baseline benchmarks/BENCH_baseline.json] [--tolerance 0.20]
+
+Exits non-zero when any benchmark's mean regresses more than
+``--tolerance`` (default 20%) over the baseline mean.  When the baseline
+file does not exist yet, the current run is recorded as the baseline and
+the check passes — so the first ``make bench-check`` on a fresh clone
+bootstraps itself.
+
+Comparison uses each benchmark's *mean* (what the acceptance criterion
+is stated in) but also reports the median, which is steadier on loaded
+machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "BENCH_baseline.json"
+
+
+def _stats_by_name(payload: dict) -> dict:
+    out = {}
+    for bench in payload.get("benchmarks", []):
+        out[bench["name"]] = bench["stats"]
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("run", type=Path, help="pytest-benchmark JSON of the current run")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional mean regression (default 0.20 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.run.exists():
+        print(f"error: benchmark run {args.run} not found", file=sys.stderr)
+        return 2
+    current = _stats_by_name(json.loads(args.run.read_text()))
+    if not current:
+        print(f"error: {args.run} contains no benchmarks", file=sys.stderr)
+        return 2
+
+    if not args.baseline.exists():
+        shutil.copyfile(args.run, args.baseline)
+        print(f"no baseline found: recorded {args.run} as {args.baseline}")
+        return 0
+
+    baseline = _stats_by_name(json.loads(args.baseline.read_text()))
+    failures = []
+    for name, stats in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"  NEW   {name}: mean {stats['mean'] * 1e3:.1f} ms (no baseline entry)")
+            continue
+        ratio = stats["mean"] / base["mean"]
+        marker = "OK" if ratio <= 1.0 + args.tolerance else "FAIL"
+        print(
+            f"  {marker:<5} {name}: mean {stats['mean'] * 1e3:.1f} ms "
+            f"(baseline {base['mean'] * 1e3:.1f} ms, x{ratio:.2f}; "
+            f"median {stats['median'] * 1e3:.1f} vs {base['median'] * 1e3:.1f} ms)"
+        )
+        if marker == "FAIL":
+            failures.append(name)
+
+    if failures:
+        print(
+            f"regression: {len(failures)} benchmark(s) exceed "
+            f"+{args.tolerance:.0%} over baseline: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,19 +4,30 @@ Runs the full pipeline — simulated phones, interception proxy, ReCon +
 string-matching PII detection, EasyList categorization, leak policy —
 over five well-known services, then prints what each medium exposed.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--workers N]
 """
+
+import argparse
 
 from repro import run_study
 from repro.services import build_catalog
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="analysis threads (results are identical for any value)",
+    )
+    args = parser.parse_args()
+
     catalog = {spec.slug: spec for spec in build_catalog()}
     chosen = [catalog[slug] for slug in ("weather", "yelp", "grubhub", "cnn", "priceline")]
 
     print(f"Running {len(chosen)} services x (app, web) x (android, ios)...")
-    study = run_study(services=chosen, train_recon=False)
+    study = run_study(services=chosen, train_recon=False, workers=args.workers)
 
     for result in study.services:
         spec = result.spec

@@ -17,7 +17,16 @@ def mean(values: Sequence) -> float:
     values = list(values)
     if not values:
         raise ValueError("mean of empty sequence")
-    return sum(values) / len(values)
+    # fsum avoids the accumulation error a naive sum exhibits on long
+    # runs of repeated floats; the clamp guarantees the result never
+    # drifts a ulp outside [min(values), max(values)].
+    mu = math.fsum(values) / len(values)
+    lo, hi = min(values), max(values)
+    if mu < lo:
+        return lo
+    if mu > hi:
+        return hi
+    return mu
 
 
 def std(values: Sequence) -> float:

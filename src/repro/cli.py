@@ -36,6 +36,7 @@ def _build_study(args):
         seed=args.seed,
         duration=args.duration,
         train_recon=not args.no_recon,
+        workers=getattr(args, "workers", 1),
     )
 
 
@@ -49,6 +50,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--no-recon", action="store_true", help="skip ReCon training (matching only)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="analysis threads (results are identical for any value)",
     )
 
 
@@ -129,7 +136,12 @@ def cmd_analyze(args) -> int:
     dataset = Dataset.load(args.dataset)
     slugs = set(dataset.services())
     services = [s for s in build_catalog() if s.slug in slugs]
-    study = analyze_dataset(dataset, services, train_recon=not args.no_recon)
+    study = analyze_dataset(
+        dataset,
+        services,
+        train_recon=not args.no_recon,
+        workers=getattr(args, "workers", 1),
+    )
     print(render_table1(table1(study)))
     print()
     print(render_table3(table3(study)))
@@ -243,6 +255,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser = sub.add_parser("analyze", help="analyze a saved dataset")
     analyze_parser.add_argument("dataset", help="dataset directory from 'collect'")
     analyze_parser.add_argument("--no-recon", action="store_true")
+    analyze_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="analysis threads (results are identical for any value)",
+    )
     analyze_parser.set_defaults(func=cmd_analyze)
 
     har_parser = sub.add_parser("har", help="export one session as a HAR file")

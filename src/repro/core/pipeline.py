@@ -11,6 +11,7 @@ and recommendation is computed from.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -18,7 +19,7 @@ from ..experiment.dataset import APP, WEB, Dataset, SessionRecord
 from ..experiment.filtering import filter_background
 from ..experiment.runner import ExperimentRunner
 from ..pii.detector import PiiDetector
-from ..pii.matcher import GroundTruthMatcher
+from ..pii.matcher import matcher_for
 from ..pii.recon import ReconClassifier, train_from_traces
 from ..services.service import ServiceSpec
 from ..services.world import World, build_world
@@ -101,15 +102,30 @@ class StudyResult:
         return out
 
 
+# Categorizer construction recompiles the spec's domain sets on every
+# call; specs are immutable for the life of a study, so one instance per
+# distinct (first-party, SSO) domain profile is shared across sessions.
+_CATEGORIZER_CACHE: dict = {}
+_CATEGORIZER_CACHE_MAX = 256
+
+
 def categorizer_for(spec: ServiceSpec) -> Categorizer:
     from ..device.phone import OS_SERVICE_HOSTS
 
+    key = (tuple(spec.first_party_domains), tuple(spec.sso_domains))
+    cached = _CATEGORIZER_CACHE.get(key)
+    if cached is not None:
+        return cached
     os_hosts = [h for hosts in OS_SERVICE_HOSTS.values() for h in hosts]
-    return Categorizer(
+    categorizer = Categorizer(
         first_party_domains=spec.first_party_domains,
         os_service_hosts=os_hosts,
         sso_domains=spec.sso_domains,
     )
+    if len(_CATEGORIZER_CACHE) >= _CATEGORIZER_CACHE_MAX:
+        _CATEGORIZER_CACHE.clear()
+    _CATEGORIZER_CACHE[key] = categorizer
+    return categorizer
 
 
 def analyze_session(
@@ -120,7 +136,7 @@ def analyze_session(
     """Run detection + leak policy + A&A accounting on one session."""
     trace = filter_background(record.trace)
     categorizer = categorizer_for(spec)
-    matcher = GroundTruthMatcher(record.ground_truth)
+    matcher = matcher_for(record.ground_truth)
     detector = PiiDetector(matcher, recon=recon)
     report = detector.scan_trace(trace)
     policy = LeakPolicy(categorizer)
@@ -145,31 +161,57 @@ def analyze_session(
     return analysis
 
 
+def _session_order(record: SessionRecord) -> tuple:
+    return (record.service, record.os_name, record.medium)
+
+
+def _map_records(records: list, fn, workers: int) -> list:
+    """Apply ``fn`` to records, optionally on a thread pool.
+
+    Records are processed in ``(service, os, medium)`` order regardless
+    of worker count, and results are returned aligned with the *input*
+    order, so every ``workers`` value produces an identical study.
+    """
+    ordered = sorted(records, key=_session_order)
+    if workers <= 1 or len(ordered) <= 1:
+        return [fn(record) for record in ordered]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, ordered))
+
+
 def train_recon_on_dataset(
     dataset: Dataset,
     every_nth_service: int = 4,
     rng_seed: int = 7,
+    workers: int = 1,
 ) -> ReconClassifier:
     """Train ReCon on a slice of the dataset's sessions.
 
     Every ``every_nth_service``-th service's sessions (ordered by slug)
     become training traffic; labels come from each session's own ground
     truth, which is how the controlled experiments make ML training
-    possible without manual annotation.
+    possible without manual annotation.  ``workers`` parallelizes label
+    extraction per session; examples are concatenated in deterministic
+    session order so the trained tree is identical for any value.
     """
     slugs = dataset.services()
     chosen = set(slugs[::every_nth_service])
-    examples = []
-    for record in dataset:
-        if record.service not in chosen:
-            continue
-        matcher = GroundTruthMatcher(record.ground_truth)
+    records = [record for record in dataset if record.service in chosen]
+
+    def label_record(record: SessionRecord) -> list:
+        matcher = matcher_for(record.ground_truth)
+        out = []
         for flow in filter_background(record.trace):
             if not flow.decrypted:
                 continue
             for txn in flow.transactions:
                 labels = {m.pii_type for m in matcher.match_request(txn.request)}
-                examples.append(ReconClassifier.make_example(txn.request, labels))
+                out.append(ReconClassifier.make_example(txn.request, labels))
+        return out
+
+    examples = []
+    for batch in _map_records(records, label_record, workers):
+        examples.extend(batch)
     import random
 
     classifier = ReconClassifier(rng=random.Random(rng_seed))
@@ -181,21 +223,37 @@ def analyze_dataset(
     services: list,
     recon: Optional[ReconClassifier] = None,
     train_recon: bool = True,
+    workers: int = 1,
 ) -> StudyResult:
-    """Evaluate a collected dataset into a :class:`StudyResult`."""
+    """Evaluate a collected dataset into a :class:`StudyResult`.
+
+    ``workers > 1`` analyzes sessions on a thread pool; results are
+    assembled in the dataset's own order, so the study is byte-for-byte
+    identical for any worker count.
+    """
     if recon is None and train_recon:
-        recon = train_recon_on_dataset(dataset)
+        recon = train_recon_on_dataset(dataset, workers=workers)
     by_slug = {spec.slug: spec for spec in services}
+    records = list(dataset)
+
+    def analyze_record(record: SessionRecord) -> SessionAnalysis:
+        return analyze_session(record, by_slug[record.service], recon=recon)
+
+    analyses = dict(
+        zip(
+            [_session_order(r) for r in sorted(records, key=_session_order)],
+            _map_records(records, analyze_record, workers),
+        )
+    )
     results: dict = {}
-    for record in dataset:
-        spec = by_slug[record.service]
+    for record in records:
         result = results.get(record.service)
         if result is None:
-            result = ServiceResult(spec=spec)
+            result = ServiceResult(spec=by_slug[record.service])
             results[record.service] = result
-        result.sessions[(record.os_name, record.medium)] = analyze_session(
-            record, spec, recon=recon
-        )
+        result.sessions[(record.os_name, record.medium)] = analyses[
+            _session_order(record)
+        ]
     ordered = [results[spec.slug] for spec in services if spec.slug in results]
     return StudyResult(services=ordered, dataset=dataset, recon=recon)
 
@@ -206,11 +264,17 @@ def run_study(
     duration: float = 240.0,
     train_recon: bool = True,
     world: Optional[World] = None,
+    workers: int = 1,
 ) -> StudyResult:
-    """Collect and evaluate the full study (the paper, end to end)."""
+    """Collect and evaluate the full study (the paper, end to end).
+
+    ``workers`` threads the analysis fan-out (see
+    :func:`analyze_dataset`); collection itself stays sequential because
+    the simulated world advances a single deterministic clock.
+    """
     if world is None:
         world = build_world(services)
     specs = services if services is not None else world.services
     runner = ExperimentRunner(world, seed=seed)
     dataset = runner.run_study(specs, duration=duration)
-    return analyze_dataset(dataset, specs, train_recon=train_recon)
+    return analyze_dataset(dataset, specs, train_recon=train_recon, workers=workers)

@@ -120,6 +120,14 @@ def gzip_decompress(body: bytes) -> Optional[bytes]:
         return None
 
 
+# Decoding is pure and the same beacon/telemetry bodies recur thousands
+# of times per trace; memoize full decode results.  The cached pairs
+# list is copied out per call, but the text and parsed JSON are shared —
+# callers treat both as read-only.
+_DECODE_CACHE: dict = {}
+_DECODE_CACHE_MAX = 8192
+
+
 def decode_body(body: bytes, content_type: str, content_encoding: str = "") -> dict:
     """Best-effort structured decode of a captured body.
 
@@ -132,6 +140,18 @@ def decode_body(body: bytes, content_type: str, content_encoding: str = "") -> d
     Never raises: undecodable content falls back to replacement text and
     empty pairs, which is what the detector wants for opaque payloads.
     """
+    key = (body, content_type, content_encoding)
+    cached = _DECODE_CACHE.get(key)
+    if cached is not None:
+        return {"text": cached[0], "pairs": list(cached[1]), "json": cached[2]}
+    decoded = _decode_body_uncached(body, content_type, content_encoding)
+    if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+        _DECODE_CACHE.clear()
+    _DECODE_CACHE[key] = (decoded["text"], tuple(decoded["pairs"]), decoded["json"])
+    return decoded
+
+
+def _decode_body_uncached(body: bytes, content_type: str, content_encoding: str) -> dict:
     if content_encoding.lower() == "gzip":
         inflated = gzip_decompress(body)
         if inflated is not None:

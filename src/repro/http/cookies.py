@@ -55,8 +55,17 @@ class Cookie:
         return False
 
 
+# Cookie headers repeat verbatim across a session's requests; parsing is
+# pure, so memoize the split.  Capped to bound adversarial streams.
+_COOKIE_PARSE_CACHE: dict = {}
+_COOKIE_PARSE_CACHE_MAX = 8192
+
+
 def parse_cookie_header(value: str) -> list:
     """Parse a request ``Cookie`` header into (name, value) pairs."""
+    cached = _COOKIE_PARSE_CACHE.get(value)
+    if cached is not None:
+        return list(cached)
     pairs = []
     for chunk in value.split(";"):
         chunk = chunk.strip()
@@ -66,6 +75,9 @@ def parse_cookie_header(value: str) -> list:
         if not sep:
             continue  # tolerate malformed crumbs
         pairs.append((name.strip(), val.strip()))
+    if len(_COOKIE_PARSE_CACHE) >= _COOKIE_PARSE_CACHE_MAX:
+        _COOKIE_PARSE_CACHE.clear()
+    _COOKIE_PARSE_CACHE[value] = tuple(pairs)
     return pairs
 
 
@@ -137,13 +149,33 @@ def format_set_cookie(cookie: Cookie) -> str:
 
 @dataclass
 class CookieJar:
-    """Client-side cookie store with RFC 6265 matching semantics."""
+    """Client-side cookie store with RFC 6265 matching semantics.
+
+    Cookies are bucketed by their stored domain: a request host can only
+    be matched by cookies whose domain is the host itself or one of its
+    dot-suffixes, so ``matching`` walks that chain instead of scanning
+    the whole jar (big jars accumulate thousands of tracker cookies).
+    """
 
     _cookies: dict = field(default_factory=dict)  # (domain, path, name) -> Cookie
+    _by_domain: dict = field(default_factory=dict)  # domain -> {key -> Cookie}
+    # Header memo: (host, path, secure) -> (version, header).  Valid while
+    # the jar hasn't changed (version) and no stored cookie has hit its
+    # expiry since (now < _next_expiry).
+    _version: int = 0
+    _next_expiry: Optional[float] = None
+    _header_memo: dict = field(default_factory=dict)
 
     def store(self, cookie: Cookie) -> None:
         """Insert or replace a cookie (same domain+path+name replaces)."""
-        self._cookies[(cookie.domain, cookie.path, cookie.name)] = cookie
+        key = (cookie.domain, cookie.path, cookie.name)
+        self._cookies[key] = cookie
+        self._by_domain.setdefault(cookie.domain.lower(), {})[key] = cookie
+        self._version += 1
+        if cookie.expires is not None and (
+            self._next_expiry is None or cookie.expires < self._next_expiry
+        ):
+            self._next_expiry = cookie.expires
 
     def store_from_response(self, set_cookie_values: Iterable, request_host: str, now: float = 0.0) -> int:
         """Parse and store each ``Set-Cookie`` value; return count stored."""
@@ -163,26 +195,71 @@ class CookieJar:
         behaviour.
         """
         sendable = []
-        for key in list(self._cookies):
-            cookie = self._cookies[key]
-            if cookie.expired(now):
-                del self._cookies[key]
-                continue
-            if cookie.secure and not secure:
-                continue
-            if cookie.domain_matches(host) and cookie.path_matches(path):
-                sendable.append(cookie)
-        sendable.sort(key=lambda c: (-len(c.path), c.name))
+        host_lower = host.lower()
+        suffix = host_lower
+        while True:
+            bucket = self._by_domain.get(suffix)
+            if bucket:
+                expired = None
+                for key, cookie in bucket.items():
+                    if cookie.expired(now):
+                        if expired is None:
+                            expired = []
+                        expired.append(key)
+                        continue
+                    if cookie.secure and not secure:
+                        continue
+                    if cookie.domain_matches(host_lower) and cookie.path_matches(path):
+                        sendable.append(cookie)
+                if expired:
+                    for key in expired:
+                        del bucket[key]
+                        del self._cookies[key]
+                    self._version += 1
+                    self._next_expiry = min(
+                        (
+                            c.expires
+                            for c in self._cookies.values()
+                            if c.expires is not None
+                        ),
+                        default=None,
+                    )
+            dot = suffix.find(".")
+            if dot < 0:
+                break
+            suffix = suffix[dot + 1 :]
+        if len(sendable) > 1:
+            sendable.sort(key=lambda c: (-len(c.path), c.name))
         return sendable
 
     def cookie_header(self, host: str, path: str = "/", secure: bool = True, now: float = 0.0) -> str:
-        """Build the request ``Cookie`` header value, or ``""`` if none."""
+        """Build the request ``Cookie`` header value, or ``""`` if none.
+
+        Sessions re-request the same endpoints constantly, so the built
+        header is memoized and reused until the jar changes or a stored
+        cookie's expiry passes.
+        """
+        fresh = self._next_expiry is None or now < self._next_expiry
+        key = (host, path, secure)
+        if fresh:
+            cached = self._header_memo.get(key)
+            if cached is not None and cached[0] == self._version:
+                return cached[1]
         pairs = [(c.name, c.value) for c in self.matching(host, path, secure, now)]
-        return format_cookie_header(pairs)
+        header = format_cookie_header(pairs)
+        if fresh:
+            if len(self._header_memo) >= 1024:
+                self._header_memo.clear()
+            self._header_memo[key] = (self._version, header)
+        return header
 
     def clear(self) -> None:
         """Drop every cookie (private-mode teardown / factory reset)."""
         self._cookies.clear()
+        self._by_domain.clear()
+        self._header_memo.clear()
+        self._version += 1
+        self._next_expiry = None
 
     def __len__(self) -> int:
         return len(self._cookies)

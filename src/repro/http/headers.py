@@ -10,18 +10,29 @@ class Headers:
 
     Stored as a list of ``(name, value)`` pairs in insertion order, which
     matters both for faithful wire serialization and because trackers
-    sometimes smuggle identifiers in repeated headers.
+    sometimes smuggle identifiers in repeated headers.  A parallel
+    first-value dict keyed by lowercased name makes ``get`` O(1) — header
+    lookup is one of the busiest operations in the capture stack.
     """
 
     def __init__(self, items: Optional[Iterable] = None) -> None:
         self._items: list = []
+        self._lower: list = []  # lowercased names, aligned with _items
+        self._first: dict = {}  # lowercased name -> first value
         if items is not None:
             for name, value in items:
                 self.add(name, value)
 
     def add(self, name: str, value: str) -> None:
         """Append a header, keeping any existing values of the same name."""
-        self._items.append((str(name), str(value)))
+        if type(name) is not str:
+            name = str(name)
+        if type(value) is not str:
+            value = str(value)
+        lowered = name.lower()
+        self._items.append((name, value))
+        self._lower.append(lowered)
+        self._first.setdefault(lowered, value)
 
     def set(self, name: str, value: str) -> None:
         """Replace every value of ``name`` with the single given value."""
@@ -30,7 +41,7 @@ class Headers:
 
     def setdefault(self, name: str, value: str) -> str:
         """Set ``name`` to ``value`` unless present; return the final value."""
-        existing = self.get(name)
+        existing = self._first.get(name.lower())
         if existing is not None:
             return existing
         self.add(name, value)
@@ -38,22 +49,33 @@ class Headers:
 
     def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
         """Return the first value of ``name``, or ``default``."""
-        wanted = name.lower()
-        for key, value in self._items:
-            if key.lower() == wanted:
-                return value
-        return default
+        return self._first.get(name.lower(), default)
 
     def get_all(self, name: str) -> list:
         """Return every value of ``name`` in order."""
         wanted = name.lower()
-        return [value for key, value in self._items if key.lower() == wanted]
+        if wanted not in self._first:
+            return []
+        return [
+            item[1]
+            for lowered, item in zip(self._lower, self._items)
+            if lowered == wanted
+        ]
 
     def remove(self, name: str) -> int:
         """Delete every value of ``name``; return how many were removed."""
         wanted = name.lower()
+        if wanted not in self._first:
+            return 0
         before = len(self._items)
-        self._items = [(k, v) for k, v in self._items if k.lower() != wanted]
+        kept = [
+            (lowered, item)
+            for lowered, item in zip(self._lower, self._items)
+            if lowered != wanted
+        ]
+        self._lower = [lowered for lowered, _ in kept]
+        self._items = [item for _, item in kept]
+        del self._first[wanted]
         return before - len(self._items)
 
     def items(self) -> list:
@@ -61,10 +83,14 @@ class Headers:
         return list(self._items)
 
     def copy(self) -> "Headers":
-        return Headers(self._items)
+        new = Headers.__new__(Headers)
+        new._items = list(self._items)
+        new._lower = list(self._lower)
+        new._first = dict(self._first)
+        return new
 
     def __contains__(self, name: str) -> bool:
-        return self.get(name) is not None
+        return name.lower() in self._first
 
     def __len__(self) -> int:
         return len(self._items)
@@ -75,8 +101,10 @@ class Headers:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Headers):
             return NotImplemented
-        ours = [(k.lower(), v) for k, v in self._items]
-        theirs = [(k.lower(), v) for k, v in other._items]
+        ours = [(lowered, item[1]) for lowered, item in zip(self._lower, self._items)]
+        theirs = [
+            (lowered, item[1]) for lowered, item in zip(other._lower, other._items)
+        ]
         return ours == theirs
 
     def __repr__(self) -> str:

@@ -93,12 +93,14 @@ class Request:
         return self.headers.get("Content-Type", "")
 
     def copy(self) -> "Request":
-        return Request(
-            method=self.method,
-            url=self.url,
-            headers=self.headers.copy(),
-            body=self.body,
-        )
+        # Bypass __init__: the source request already validated its
+        # method and parsed its URL, and copy() runs once per send.
+        new = Request.__new__(Request)
+        new.method = self.method
+        new.url = self.url
+        new.headers = self.headers.copy()
+        new.body = self.body
+        return new
 
 
 @dataclass

@@ -111,8 +111,12 @@ class ClientSession:
 
     # -- request sending ---------------------------------------------------
 
-    def _prepare(self, request: Request) -> Request:
-        prepared = request.copy()
+    def _prepare(self, request: Request, owned: bool = False) -> Request:
+        # ``owned`` requests (built by this session's get/post/redirect
+        # handling, never seen by the caller again) are prepared in
+        # place; external requests are copied so send() never mutates
+        # its argument.
+        prepared = request if owned else request.copy()
         prepared.headers.setdefault("Host", prepared.url.host)
         prepared.headers.setdefault("User-Agent", self.user_agent)
         prepared.headers.setdefault("Accept", "*/*")
@@ -132,9 +136,9 @@ class ClientSession:
         if set_cookies:
             self.cookie_jar.store_from_response(set_cookies, url.host, now=self._now_fn())
 
-    def send(self, request: Request) -> Response:
+    def send(self, request: Request, _owned: bool = False) -> Response:
         """Send one request without following redirects."""
-        prepared = self._prepare(request)
+        prepared = self._prepare(request, owned=_owned)
         pooled = self._connection_for(prepared.url)
         try:
             response = pooled.connection.send(prepared)
@@ -150,13 +154,15 @@ class ClientSession:
         self._absorb_cookies(prepared.url, response)
         return response
 
-    def fetch(self, request: Request) -> FetchResult:
+    def fetch(self, request: Request, _owned: bool = False) -> FetchResult:
         """Send a request and follow redirects up to the session limit."""
         hops = []
         current = request
+        owned = _owned
         sent = 0
         while True:
-            response = self.send(current)
+            response = self.send(current, _owned=owned)
+            owned = True  # redirect requests below are always ours
             sent += 1
             if not response.is_redirect:
                 return FetchResult(
@@ -179,7 +185,7 @@ class ClientSession:
 
     def get(self, url: str, headers: Optional[list] = None) -> FetchResult:
         """GET ``url`` following redirects."""
-        return self.fetch(Request.build("GET", url, headers=headers))
+        return self.fetch(Request.build("GET", url, headers=headers), _owned=True)
 
     def post(
         self,
@@ -190,5 +196,6 @@ class ClientSession:
     ) -> FetchResult:
         """POST ``body`` to ``url`` following redirects."""
         return self.fetch(
-            Request.build("POST", url, headers=headers, body=body, content_type=content_type)
+            Request.build("POST", url, headers=headers, body=body, content_type=content_type),
+            _owned=True,
         )

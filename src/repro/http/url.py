@@ -12,9 +12,10 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
 _SCHEME_PORTS = {"http": 80, "https": 443}
-_UNRESERVED = set(
+_UNRESERVED_STR = (
     "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~"
 )
+_UNRESERVED = set(_UNRESERVED_STR)
 _HEX = "0123456789ABCDEF"
 
 
@@ -24,7 +25,16 @@ class UrlError(ValueError):
 
 def percent_encode(text: str, safe: str = "") -> str:
     """Percent-encode ``text``, leaving unreserved and ``safe`` chars bare."""
-    keep = _UNRESERVED | set(safe)
+    keep = _UNRESERVED | set(safe) if safe else _UNRESERVED
+    # Dominant case on the hot path: nothing needs escaping at all.
+    if not text.strip(_UNRESERVED_STR + safe):
+        return text
+    # The slow byte-by-byte path is pure and its inputs (PII values,
+    # tracker parameters) repeat constantly — memoize it.
+    key = (text, safe)
+    cached = _ENCODE_CACHE.get(key)
+    if cached is not None:
+        return cached
     out = []
     for byte in text.encode("utf-8"):
         char = chr(byte)
@@ -32,7 +42,15 @@ def percent_encode(text: str, safe: str = "") -> str:
             out.append(char)
         else:
             out.append(f"%{_HEX[byte >> 4]}{_HEX[byte & 0xF]}")
-    return "".join(out)
+    encoded = "".join(out)
+    if len(_ENCODE_CACHE) >= _ENCODE_CACHE_MAX:
+        _ENCODE_CACHE.clear()
+    _ENCODE_CACHE[key] = encoded
+    return encoded
+
+
+_ENCODE_CACHE: dict = {}
+_ENCODE_CACHE_MAX = 8192
 
 
 def percent_decode(text: str, plus_as_space: bool = False) -> str:
@@ -41,31 +59,55 @@ def percent_decode(text: str, plus_as_space: bool = False) -> str:
     Malformed escapes are left literal rather than raising: captured
     traffic is adversarial input and the detector must not crash on it.
     """
-    raw = bytearray()
-    i = 0
-    length = len(text)
-    while i < length:
-        char = text[i]
-        if char == "%" and i + 2 < length + 1:
-            pair = text[i + 1 : i + 3]
-            if len(pair) == 2 and all(c in "0123456789abcdefABCDEF" for c in pair):
-                raw.append(int(pair, 16))
-                i += 3
-                continue
-        if plus_as_space and char == "+":
-            raw.append(0x20)
+    if "%" not in text:
+        if plus_as_space and "+" in text:
+            return text.replace("+", " ")
+        return text
+    if plus_as_space:
+        # Normalizing ``+`` to its escape form lets one chunked pass
+        # handle both; a literal plus only reaches here pre-decode.
+        text = text.replace("+", "%20")
+    chunks = text.split("%")
+    raw = bytearray(chunks[0].encode("utf-8"))
+    hexdigits = "0123456789abcdefABCDEF"
+    for chunk in chunks[1:]:
+        if len(chunk) >= 2 and chunk[0] in hexdigits and chunk[1] in hexdigits:
+            raw.append(int(chunk[:2], 16))
+            raw.extend(chunk[2:].encode("utf-8"))
         else:
-            raw.extend(char.encode("utf-8"))
-        i += 1
+            raw.extend(("%" + chunk).encode("utf-8"))
     return raw.decode("utf-8", errors="replace")
 
 
 def encode_query(params: Iterable) -> str:
     """Encode an iterable of (key, value) pairs as a query string."""
+    params = tuple(params)
+    cached = _ENCODE_QUERY_CACHE.get(params)
+    if cached is not None:
+        return cached
     parts = []
     for key, value in params:
-        parts.append(f"{percent_encode(str(key))}={percent_encode(str(value))}")
-    return "&".join(parts)
+        key = str(key)
+        value = str(value)
+        if not key.strip(_UNRESERVED_STR):
+            if not value.strip(_UNRESERVED_STR):
+                parts.append(f"{key}={value}")
+                continue
+            parts.append(f"{key}={percent_encode(value)}")
+            continue
+        parts.append(f"{percent_encode(key)}={percent_encode(value)}")
+    encoded = "&".join(parts)
+    try:
+        if len(_ENCODE_QUERY_CACHE) >= _ENCODE_QUERY_CACHE_MAX:
+            _ENCODE_QUERY_CACHE.clear()
+        _ENCODE_QUERY_CACHE[params] = encoded
+    except TypeError:
+        pass  # unhashable values: skip the memo, the result still stands
+    return encoded
+
+
+_ENCODE_QUERY_CACHE: dict = {}
+_ENCODE_QUERY_CACHE_MAX = 8192
 
 
 def decode_query(query: str) -> list:
@@ -73,18 +115,38 @@ def decode_query(query: str) -> list:
 
     Keeps duplicates and ordering; tolerates bare keys (no ``=``) and
     empty segments, both of which appear in real tracker beacons.
+    Decoding is pure and beacon queries repeat endlessly, so results are
+    memoized (a fresh list is returned per call).
     """
-    pairs = []
     if not query:
-        return pairs
+        return []
+    cached = _QUERY_CACHE.get(query)
+    if cached is not None:
+        return list(cached)
+    pairs = []
+    # Dominant case: nothing to unescape anywhere in the query.
+    plain = "%" not in query and "+" not in query
     for segment in query.split("&"):
         if not segment:
             continue
         key, sep, value = segment.partition("=")
-        pairs.append(
-            (percent_decode(key, plus_as_space=True), percent_decode(value, plus_as_space=True))
-        )
+        if plain:
+            pairs.append((key, value))
+        else:
+            pairs.append(
+                (
+                    percent_decode(key, plus_as_space=True),
+                    percent_decode(value, plus_as_space=True),
+                )
+            )
+    if len(_QUERY_CACHE) >= _QUERY_CACHE_MAX:
+        _QUERY_CACHE.clear()
+    _QUERY_CACHE[query] = tuple(pairs)
     return pairs
+
+
+_QUERY_CACHE: dict = {}
+_QUERY_CACHE_MAX = 16384
 
 
 @dataclass(frozen=True)
@@ -156,6 +218,11 @@ class Url:
         return replace(self, path=_normalize_path(base_dir + path), query=query, fragment=fragment)
 
     def __str__(self) -> str:
+        # Urls are frozen and stringified repeatedly (capture records the
+        # URL of every transaction) — cache the rendering on the instance.
+        cached = self.__dict__.get("_str")
+        if cached is not None:
+            return cached
         out = ""
         if self.is_absolute:
             out = self.origin
@@ -164,6 +231,7 @@ class Url:
             out += f"?{self.query}"
         if self.fragment:
             out += f"#{self.fragment}"
+        object.__setattr__(self, "_str", out)
         return out
 
 
@@ -185,7 +253,26 @@ def _normalize_path(path: str) -> str:
 
 
 def parse_url(raw: str) -> Url:
-    """Parse an absolute ``http``/``https`` URL or a relative reference."""
+    """Parse an absolute ``http``/``https`` URL or a relative reference.
+
+    Results are memoized: :class:`Url` is frozen, and the capture stack
+    parses the same beacon/page URLs thousands of times per study.
+    """
+    cached = _PARSE_CACHE.get(raw)
+    if cached is not None:
+        return cached
+    url = _parse_url_uncached(raw)
+    if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+        _PARSE_CACHE.clear()
+    _PARSE_CACHE[raw] = url
+    return url
+
+
+_PARSE_CACHE: dict = {}
+_PARSE_CACHE_MAX = 16384
+
+
+def _parse_url_uncached(raw: str) -> Url:
     if raw is None:
         raise UrlError("URL is None")
     raw = raw.strip()

@@ -77,9 +77,10 @@ class CapturedRequest:
     @property
     def size(self) -> int:
         """Approximate on-the-wire request size in bytes."""
-        line = len(self.method) + len(self.url) + 12
-        headers = sum(len(k) + len(v) + 4 for k, v in self.headers)
-        return line + headers + len(self.body)
+        total = len(self.method) + len(self.url) + 12 + len(self.body)
+        for k, v in self.headers:
+            total += len(k) + len(v) + 4
+        return total
 
     def to_dict(self) -> dict:
         return {
@@ -119,9 +120,10 @@ class CapturedResponse:
     @property
     def size(self) -> int:
         """Approximate on-the-wire response size in bytes."""
-        line = len(self.reason) + 15
-        headers = sum(len(k) + len(v) + 4 for k, v in self.headers)
-        return line + headers + len(self.body)
+        total = len(self.reason) + 15 + len(self.body)
+        for k, v in self.headers:
+            total += len(k) + len(v) + 4
+        return total
 
     def to_dict(self) -> dict:
         return {

@@ -1,8 +1,9 @@
 """PII detection: taxonomy, encodings, matching, and the ReCon classifier."""
 
+from .automaton import AhoCorasick
 from .detector import MATCHING, RECON, DetectionReport, PiiDetector, PiiObservation
 from .encodings import encode_value, hashed_forms, variants
-from .matcher import GroundTruthMatcher, PiiMatch
+from .matcher import GroundTruthMatcher, PiiMatch, matcher_for
 from .recon import (
     DecisionTree,
     ReconClassifier,
@@ -19,6 +20,7 @@ from .types import ALL_PII_TYPES, TABLE1_ORDER, PiiType
 
 __all__ = [
     "ALL_PII_TYPES",
+    "AhoCorasick",
     "DecisionTree",
     "DetectionReport",
     "Field",
@@ -39,6 +41,7 @@ __all__ = [
     "extract_fields",
     "featurize",
     "hashed_forms",
+    "matcher_for",
     "searchable_text",
     "train_from_traces",
     "variants",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import base64
 import hashlib
+from functools import lru_cache
 
 from ..http.url import percent_encode
 
@@ -62,10 +63,19 @@ def variants(value: str, include_hashes: bool = True) -> dict:
     would match traffic constantly and mean nothing (e.g. ``"m"`` for
     gender).  When two encodings collide (value already lowercase), the
     earlier, more specific name wins.
+
+    Results are memoized: hash digests dominate the cost, and matcher
+    construction re-enumerates the same ground-truth values for every
+    session of a study.
     """
-    out: dict = {}
     if value is None:
-        return out
+        return {}
+    return dict(_variant_items(value, include_hashes))
+
+
+@lru_cache(maxsize=4096)
+def _variant_items(value: str, include_hashes: bool) -> tuple:
+    out: dict = {}
 
     def put(form: str, name: str) -> None:
         if len(form) >= MIN_SEARCHABLE_LENGTH and form not in out:
@@ -82,7 +92,7 @@ def variants(value: str, include_hashes: bool = True) -> dict:
     digits = "".join(c for c in value if c.isdigit())
     if digits != value and len(digits) >= 7:
         put(digits, DIGITS_ONLY)
-    return out
+    return tuple(out.items())
 
 
 def hashed_forms(value: str) -> dict:

@@ -10,7 +10,7 @@ of :class:`Field` records drawn from the URL query, the decoded body
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from ..http.body import decode_body
 from ..http.cookies import parse_cookie_header
@@ -28,21 +28,31 @@ PATH = "path"
 _INTERESTING_HEADERS = ("user-agent", "referer", "x-", "authorization", "device-")
 
 
-@dataclass(frozen=True)
-class Field:
-    """One key/value observation within a request."""
+class Field(NamedTuple):
+    """One key/value observation within a request.
+
+    A named tuple rather than a dataclass: extraction builds tens of
+    thousands of these per trace, and tuple construction skips the
+    per-attribute ``object.__setattr__`` a frozen dataclass pays.
+    """
 
     source: str  # QUERY | BODY | COOKIE | HEADER | PATH
     key: str
     value: str
 
 
+_INTERESTING_MEMO: dict = {}
+
+
 def _header_is_interesting(name: str) -> bool:
-    lowered = name.lower()
-    return any(
-        lowered == probe or (probe.endswith("-") and lowered.startswith(probe))
-        for probe in _INTERESTING_HEADERS
-    )
+    verdict = _INTERESTING_MEMO.get(name)
+    if verdict is None:
+        lowered = name.lower()
+        verdict = _INTERESTING_MEMO[name] = any(
+            lowered == probe or (probe.endswith("-") and lowered.startswith(probe))
+            for probe in _INTERESTING_HEADERS
+        )
+    return verdict
 
 
 def extract_fields(request: CapturedRequest) -> list:

@@ -78,6 +78,7 @@ class InterceptionProxy:
         self.ca_issuer = PROXY_CA
         self.passthrough_hosts: set = set()
         self.addons: list = []
+        self._callbacks: dict = {}  # event name -> [bound callbacks]
         self._trace: Optional[Trace] = None
         self._next_flow_id = 0
         self._next_port = 40000
@@ -104,12 +105,16 @@ class InterceptionProxy:
     def add_addon(self, addon) -> None:
         """Register a mitmproxy-style addon (duck-typed callbacks)."""
         self.addons.append(addon)
-
-    def _emit(self, event: str, *args) -> None:
-        for addon in self.addons:
+        # Resolve callbacks once at registration: _emit runs twice per
+        # transaction, so a getattr per addon per event adds up.
+        for event in ("tcp_connect", "request", "response"):
             callback = getattr(addon, event, None)
             if callback is not None:
-                callback(*args)
+                self._callbacks.setdefault(event, []).append(callback)
+
+    def _emit(self, event: str, *args) -> None:
+        for callback in self._callbacks.get(event, ()):
+            callback(*args)
 
     # -- transport factory ---------------------------------------------------
 

@@ -33,16 +33,34 @@ from .thirdparty import AD_EXCHANGE, ThirdParty, get as get_party
 
 GIF_BODY = b"GIF89a\x01\x00\x01\x00\x80\x00\x00\xff\xff\xff\x00\x00\x00!\xf9"
 
+# Beacon acknowledgements are identical for every hit; encode once.
+OK_JSON_BODY = encode_json({"status": "ok"})
+
+
+# Blobs are pure functions of (seed, low, high) and the same assets are
+# served over and over (pages re-embed the same scripts and creatives);
+# cache the built bytes.  Small entry cap — blobs run to ~100KB each.
+_BLOB_CACHE: dict = {}
+_BLOB_CACHE_MAX = 1024
+
 
 def sized_blob(seed: str, low: int, high: int) -> bytes:
     """Deterministic pseudo-content of a size derived from ``seed``."""
     if low > high:
         raise ValueError(f"empty size range [{low}, {high}]")
+    key = (seed, low, high)
+    cached = _BLOB_CACHE.get(key)
+    if cached is not None:
+        return cached
     digest = hashlib.sha256(seed.encode()).digest()
     span = high - low + 1
     size = low + int.from_bytes(digest[:4], "big") % span
     unit = digest * (size // len(digest) + 1)
-    return unit[:size]
+    blob = unit[:size]
+    if len(_BLOB_CACHE) >= _BLOB_CACHE_MAX:
+        _BLOB_CACHE.clear()
+    _BLOB_CACHE[key] = blob
+    return blob
 
 
 class _CookieMinter:
@@ -86,7 +104,7 @@ class AnalyticsHandler:
             return response
         self.beacons_received += 1
         if request.method == "POST":
-            response = Response.build(200, encode_json({"status": "ok"}), "application/json")
+            response = Response.build(200, OK_JSON_BODY, "application/json")
         else:
             response = Response.build(200, GIF_BODY, "image/gif")
         self._minter.ensure_uid(request, response)
@@ -131,7 +149,7 @@ class ExchangeHandler:
             # not creatives.
             self.beacons_received += 1
             if request.method == "POST":
-                response = Response.build(200, encode_json({"status": "ok"}), "application/json")
+                response = Response.build(200, OK_JSON_BODY, "application/json")
             else:
                 response = Response.build(200, GIF_BODY, "image/gif")
             self._minter.ensure_uid(request, response)

@@ -10,6 +10,7 @@ from .categorize import (
     FlowCategory,
 )
 from .easylist import EASYLIST_TEXT, bundled_easylist
+from .index import FilterIndex
 from .psl import DomainError, domain_key, public_suffix, registrable_domain, same_party
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "EASYLIST_TEXT",
     "FIRST_PARTY",
     "Filter",
+    "FilterIndex",
     "FilterList",
     "FilterOptions",
     "FlowCategory",

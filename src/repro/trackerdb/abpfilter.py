@@ -71,6 +71,13 @@ class Filter:
     pattern: re.Pattern
     exception: bool
     options: FilterOptions
+    # Index metadata (see repro.trackerdb.index): the ``||`` anchor
+    # domain if any, whether the address part can only ever depend on
+    # the request host (pure ``||domain^`` rules), and a lowercase
+    # literal shingle every match of a non-anchored rule must contain.
+    anchor_domain: Optional[str] = None
+    host_only: bool = False
+    shingle: str = ""
 
     def matches(
         self,
@@ -147,6 +154,42 @@ def _parse_options(blob: str) -> FilterOptions:
     return options
 
 
+_ANCHOR_BREAK = re.compile(r"[\^/*|?]")
+_HOSTNAME_RE = re.compile(r"[a-z0-9.-]+\Z")
+
+
+def _index_metadata(body: str) -> tuple:
+    """Derive ``(anchor_domain, host_only, shingle)`` for one rule body.
+
+    - ``anchor_domain``: for ``||domain...`` rules, the anchor; such a
+      rule can only match URLs whose request host is the anchor or a
+      subdomain of it (the compiled regex confines the anchor to the
+      authority component).
+    - ``host_only``: true for pure ``||domain^`` / ``||domain`` rules,
+      whose address match is fully determined by the request host.
+    - ``shingle``: for non-anchored rules, a lowercase literal substring
+      (up to 8 bytes, from the longest wildcard-free segment) that any
+      matching URL must contain — the index's cheap prescreen.
+    """
+    if body.startswith("||"):
+        core = body[2:]
+        cut = _ANCHOR_BREAK.search(core)
+        anchor = core[: cut.start()] if cut else core
+        rest = core[cut.start() :] if cut else ""
+        # The anchor is a true domain anchor only when a separator
+        # terminates it (``^``, ``/``, or the end anchor ``|``): then the
+        # request host must be the anchor or a subdomain of it.  A bare
+        # ``||ads`` also matches hosts merely *starting* with "ads", so
+        # it falls through to the shingle bucket below.
+        if anchor and rest and rest[0] in "^/|" and _HOSTNAME_RE.match(anchor.lower()):
+            return (anchor.lower(), rest == "^", "")
+    segments = [s for s in re.split(r"[\^*|]", body) if s]
+    if not segments:
+        return (None, False, "")
+    longest = max(segments, key=len)
+    return (None, False, longest.lower()[:8])
+
+
 def parse_filter(line: str) -> Optional[Filter]:
     """Parse one list line; returns None for comments/unsupported rules."""
     raw = line.strip()
@@ -165,13 +208,31 @@ def parse_filter(line: str) -> Optional[Filter]:
             return None
     if not body:
         return None
+    anchor_domain, host_only, shingle = _index_metadata(body)
     return Filter(
-        raw=raw, pattern=_pattern_to_regex(body), exception=exception, options=options
+        raw=raw,
+        pattern=_pattern_to_regex(body),
+        exception=exception,
+        options=options,
+        anchor_domain=anchor_domain,
+        host_only=host_only,
+        shingle=shingle,
     )
 
 
+_VERDICT_CACHE_MAX = 8192
+_MISS = object()
+
+
 class FilterList:
-    """A compiled filter list with EasyList matching semantics."""
+    """A compiled filter list with EasyList matching semantics.
+
+    ``match`` consults a candidate index (see
+    :mod:`repro.trackerdb.index`) so a URL only probes the rules that
+    could possibly fire, and memoizes per-host verdicts when the
+    candidate set is host-pure.  ``match_linear`` keeps the original
+    whole-list scan as the reference the index is verified against.
+    """
 
     def __init__(self, filters: Iterable) -> None:
         self.blocking: list = []
@@ -183,6 +244,8 @@ class FilterList:
                 self.exceptions.append(item)
             else:
                 self.blocking.append(item)
+        self._index = None
+        self._verdicts: dict = {}
 
     @classmethod
     def parse(cls, text: str) -> "FilterList":
@@ -191,6 +254,16 @@ class FilterList:
 
     def __len__(self) -> int:
         return len(self.blocking) + len(self.exceptions)
+
+    def _ensure_index(self) -> tuple:
+        if self._index is None:
+            from .index import FilterIndex
+
+            self._index = (
+                FilterIndex(self.exceptions),
+                FilterIndex(self.blocking),
+            )
+        return self._index
 
     def match(
         self,
@@ -204,6 +277,50 @@ class FilterList:
         came from; third-partyness is derived from it.  Exception rules
         (``@@``) veto matching blocking rules, as in ABP.
         """
+        request_host = _host_of(url)
+        if page_host:
+            third_party = not same_party(request_host, page_host)
+        else:
+            third_party = True
+        from .psl import domain_key
+
+        page_domain = domain_key(page_host) if page_host else ""
+        exception_index, blocking_index = self._ensure_index()
+        url_lower = url.lower()
+        exception_rules, exceptions_pure = exception_index.candidates(
+            url_lower, request_host
+        )
+        blocking_rules, blocking_pure = blocking_index.candidates(
+            url_lower, request_host
+        )
+        cacheable = exceptions_pure and blocking_pure
+        if cacheable:
+            key = (request_host, third_party, resource_type, page_domain)
+            cached = self._verdicts.get(key, _MISS)
+            if cached is not _MISS:
+                return cached
+        verdict: Optional[Filter] = None
+        for rule in exception_rules:
+            if rule.matches(url, third_party, resource_type, page_domain):
+                break
+        else:
+            for rule in blocking_rules:
+                if rule.matches(url, third_party, resource_type, page_domain):
+                    verdict = rule
+                    break
+        if cacheable:
+            if len(self._verdicts) >= _VERDICT_CACHE_MAX:
+                self._verdicts.clear()
+            self._verdicts[key] = verdict
+        return verdict
+
+    def match_linear(
+        self,
+        url: str,
+        page_host: str = "",
+        resource_type: str = "other",
+    ) -> Optional[Filter]:
+        """Reference path: probe every rule in list order (seed engine)."""
         request_host = _host_of(url)
         if page_host:
             third_party = not same_party(request_host, page_host)

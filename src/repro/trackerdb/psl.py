@@ -9,6 +9,8 @@ levels) rather than shipping the full Mozilla list.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 # Plain suffixes: a domain label sequence ending in one of these has its
 # registrable domain one label further left.
 _SUFFIXES = {
@@ -70,6 +72,7 @@ def registrable_domain(hostname: str) -> str:
     return ".".join(labels[-(suffix_labels + 1) :])
 
 
+@lru_cache(maxsize=16384)
 def same_party(host_a: str, host_b: str) -> bool:
     """True when two hostnames share a registrable domain."""
     try:
@@ -78,6 +81,7 @@ def same_party(host_a: str, host_b: str) -> bool:
         return host_a.lower() == host_b.lower()
 
 
+@lru_cache(maxsize=16384)
 def domain_key(hostname: str) -> str:
     """Registrable domain, falling back to the raw host for odd names.
 
