@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-all bench-check clean
+.PHONY: test bench bench-all bench-check bench-stream clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -12,6 +12,12 @@ bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_bench_pipeline.py --benchmark-only \
 		--benchmark-json=BENCH_pipeline.json -q
+
+# Streaming throughput (flows/sec through the bus + sharded analyzers).
+bench-stream:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/test_bench_stream.py --benchmark-only \
+		--benchmark-json=BENCH_stream.json -q
 
 # Every benchmark, including the full 50-service study fixtures.
 bench-all:
@@ -25,5 +31,5 @@ bench-check: bench
 	$(PYTHON) benchmarks/check_regression.py BENCH_pipeline.json
 
 clean:
-	rm -f BENCH_pipeline.json BENCH_all.json
+	rm -f BENCH_pipeline.json BENCH_all.json BENCH_stream.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

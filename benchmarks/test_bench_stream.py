@@ -1,0 +1,73 @@
+"""Streaming-analysis benchmarks.
+
+Measures the online path against the batch reference: end-to-end
+replay throughput (flows/sec through the bus + sharded analyzers) and
+the cost of crash-safe operation (journal + periodic snapshots).
+"""
+
+import pytest
+
+from repro.core.pipeline import analyze_dataset, run_study
+from repro.services.catalog import build_catalog
+from repro.services.world import build_world
+from repro.stream import DatasetStreamer, stream_dataset
+
+SUBSET = ("weather", "grubhub", "cnn")
+
+
+def _specs(slugs=SUBSET):
+    by_slug = {s.slug: s for s in build_catalog()}
+    return [by_slug[slug] for slug in slugs]
+
+
+@pytest.fixture(scope="module")
+def replay_dataset():
+    specs = _specs()
+    study = run_study(services=specs, world=build_world(specs), train_recon=False)
+    return study.dataset, specs
+
+
+def test_bench_stream_throughput(benchmark, replay_dataset):
+    """Flows/sec through the full streaming path (2 shards, no recon)."""
+    dataset, specs = replay_dataset
+    flows = dataset.total_flows()
+
+    def run():
+        streamer = DatasetStreamer(dataset, specs, shards=2)
+        streamer.run()
+        return streamer.finalize(train_recon=False), streamer.analyzer
+
+    (study, analyzer) = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(study.services) == len(specs)
+    assert analyzer.bus.stats.flows == flows
+    print(
+        f"\n  streamed {flows} flows at {analyzer.flows_per_second:,.0f} flows/s "
+        f"({analyzer.bus.stats.sessions} sessions, 2 shards)"
+    )
+
+
+def test_bench_stream_checkpoint_overhead(benchmark, replay_dataset, tmp_path):
+    """Same replay with durable checkpoints every 100 flows."""
+    dataset, specs = replay_dataset
+
+    counter = {"n": 0}
+
+    def run():
+        counter["n"] += 1
+        directory = tmp_path / f"ckpt-{counter['n']}"
+        study = stream_dataset(
+            dataset,
+            specs,
+            shards=2,
+            train_recon=False,
+            checkpoint_dir=directory,
+            checkpoint_every=100,
+        )
+        assert (directory / "journal.jsonl").exists()
+        return study
+
+    study = benchmark.pedantic(run, rounds=3, iterations=1)
+    batch = analyze_dataset(dataset, specs, train_recon=False)
+    streamed = {(a.service, a.os_name, a.medium): a for a in study.analyses()}
+    for analysis in batch.analyses():
+        assert streamed[(analysis.service, analysis.os_name, analysis.medium)] == analysis

@@ -24,19 +24,32 @@ from .core.recommend import PrivacyPreferences, Recommender
 from .services.catalog import build_catalog
 
 
-def _build_study(args):
+def _resolve_workers(value: int) -> int:
+    """``--workers 0`` means "use every core"."""
+    import os
+
+    if value > 0:
+        return value
+    return os.cpu_count() or 1
+
+
+def _selected_services(args):
     services = build_catalog()
     if getattr(args, "services", None):
         wanted = set(args.services.split(","))
         services = [s for s in services if s.slug in wanted]
         if not services:
             raise SystemExit(f"no catalog services match {args.services!r}")
+    return services
+
+
+def _build_study(args):
     return run_study(
-        services=services,
+        services=_selected_services(args),
         seed=args.seed,
         duration=args.duration,
         train_recon=not args.no_recon,
-        workers=getattr(args, "workers", 1),
+        workers=_resolve_workers(getattr(args, "workers", 1)),
     )
 
 
@@ -55,7 +68,8 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--workers",
         type=int,
         default=1,
-        help="analysis threads (results are identical for any value)",
+        help="analysis threads; 0 = one per CPU core (results are "
+        "identical for any value)",
     )
 
 
@@ -140,11 +154,58 @@ def cmd_analyze(args) -> int:
         dataset,
         services,
         train_recon=not args.no_recon,
-        workers=getattr(args, "workers", 1),
+        workers=_resolve_workers(getattr(args, "workers", 1)),
     )
     print(render_table1(table1(study)))
     print()
     print(render_table3(table3(study)))
+    return 0
+
+
+def cmd_stream(args) -> int:
+    """Streaming analysis: live capture export or dataset replay."""
+    from .stream.analyzer import DatasetStreamer
+
+    if args.dataset:
+        from .experiment.dataset import Dataset
+
+        dataset = Dataset.load(args.dataset)
+        slugs = set(dataset.services())
+        services = [s for s in build_catalog() if s.slug in slugs]
+        streamer = DatasetStreamer(
+            dataset,
+            services,
+            shards=args.shards,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+        )
+        streamer.run()
+        study = streamer.finalize(train_recon=not args.no_recon)
+        stats = streamer.analyzer.bus.stats
+        throughput = streamer.analyzer.flows_per_second
+    else:
+        if args.resume:
+            raise SystemExit("--resume requires --dataset (live runs start fresh)")
+        study = run_study(
+            services=_selected_services(args),
+            seed=args.seed,
+            duration=args.duration,
+            train_recon=not args.no_recon,
+            streaming=True,
+            shards=args.shards,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        stats = throughput = None
+    print(render_table1(table1(study)))
+    print()
+    print(render_table3(table3(study)))
+    if stats is not None:
+        print()
+        print(
+            f"streamed {stats.flows} flows / {stats.sessions} sessions across "
+            f"{args.shards} shard(s) at {throughput:,.0f} flows/s"
+        )
     return 0
 
 
@@ -262,6 +323,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="analysis threads (results are identical for any value)",
     )
     analyze_parser.set_defaults(func=cmd_analyze)
+
+    stream_parser = sub.add_parser(
+        "stream", help="streaming capture + online analysis (live or replay)"
+    )
+    _add_common(stream_parser)
+    stream_parser.add_argument(
+        "--dataset", help="replay a saved dataset instead of capturing live"
+    )
+    stream_parser.add_argument(
+        "--shards", type=int, default=1, help="parallel analyzer shards"
+    )
+    stream_parser.add_argument(
+        "--checkpoint-dir", help="directory for crash-safe snapshots + flow journal"
+    )
+    stream_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=200,
+        help="flows between shard snapshots",
+    )
+    stream_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run from --checkpoint-dir",
+    )
+    stream_parser.set_defaults(func=cmd_stream)
 
     har_parser = sub.add_parser("har", help="export one session as a HAR file")
     har_parser.add_argument("service", help="service slug")

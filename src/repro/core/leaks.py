@@ -55,6 +55,21 @@ class LeakRecord:
     def plaintext(self) -> bool:
         return self.observation.plaintext
 
+    def to_dict(self) -> dict:
+        return {
+            "observation": self.observation.to_dict(),
+            "category": self.category.to_dict(),
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LeakRecord":
+        return cls(
+            observation=PiiObservation.from_dict(data["observation"]),
+            category=FlowCategory.from_dict(data["category"]),
+            reason=data["reason"],
+        )
+
 
 class LeakPolicy:
     """Classifies detector observations into leaks / non-leaks."""

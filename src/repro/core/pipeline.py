@@ -24,7 +24,7 @@ from ..pii.recon import ReconClassifier, train_from_traces
 from ..services.service import ServiceSpec
 from ..services.world import World, build_world
 from ..trackerdb.categorize import Categorizer, THIRD_PARTY_AA
-from .leaks import LeakPolicy, leak_domains, leak_types
+from .leaks import LeakPolicy, LeakRecord, leak_domains, leak_types
 
 
 @dataclass
@@ -57,6 +57,36 @@ class SessionAnalysis:
     @property
     def aa_megabytes(self) -> float:
         return self.aa_bytes / 1_000_000.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (used by streaming checkpoints and exports)."""
+        return {
+            "service": self.service,
+            "os": self.os_name,
+            "medium": self.medium,
+            "flows_total": self.flows_total,
+            "aa_domains": sorted(self.aa_domains),
+            "aa_flows": self.aa_flows,
+            "aa_bytes": self.aa_bytes,
+            "third_party_domains": sorted(self.third_party_domains),
+            "leaks": [leak.to_dict() for leak in self.leaks],
+            "recon_false_positives": self.recon_false_positives,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionAnalysis":
+        return cls(
+            service=data["service"],
+            os_name=data["os"],
+            medium=data["medium"],
+            flows_total=data["flows_total"],
+            aa_domains=set(data["aa_domains"]),
+            aa_flows=data["aa_flows"],
+            aa_bytes=data["aa_bytes"],
+            third_party_domains=set(data["third_party_domains"]),
+            leaks=[LeakRecord.from_dict(entry) for entry in data["leaks"]],
+            recon_false_positives=data["recon_false_positives"],
+        )
 
 
 @dataclass
@@ -265,16 +295,44 @@ def run_study(
     train_recon: bool = True,
     world: Optional[World] = None,
     workers: int = 1,
+    streaming: bool = False,
+    shards: int = 1,
+    checkpoint_dir=None,
 ) -> StudyResult:
     """Collect and evaluate the full study (the paper, end to end).
 
     ``workers`` threads the analysis fan-out (see
     :func:`analyze_dataset`); collection itself stays sequential because
     the simulated world advances a single deterministic clock.
+
+    ``streaming=True`` analyzes the capture *live* instead of post-hoc:
+    a :class:`~repro.proxy.addons.StreamCapture` addon feeds each
+    finalized flow into ``shards`` online analyzers while the campaign
+    is still running (see :mod:`repro.stream`).  The result is
+    byte-for-byte identical to the batch path; ``checkpoint_dir``
+    additionally makes the run crash-resumable.
     """
     if world is None:
         world = build_world(services)
     specs = services if services is not None else world.services
     runner = ExperimentRunner(world, seed=seed)
-    dataset = runner.run_study(specs, duration=duration)
-    return analyze_dataset(dataset, specs, train_recon=train_recon, workers=workers)
+    if not streaming:
+        dataset = runner.run_study(specs, duration=duration)
+        return analyze_dataset(dataset, specs, train_recon=train_recon, workers=workers)
+
+    from ..proxy.addons import StreamCapture
+    from ..stream.analyzer import StreamAnalyzer
+
+    analyzer = StreamAnalyzer(specs, shards=shards, checkpoint_dir=checkpoint_dir)
+    capture = StreamCapture(analyzer.publish)
+    world.proxy.add_addon(capture)
+    try:
+        analyzer.start()
+        dataset = runner.run_study(
+            specs, duration=duration, phone_setup=capture.stage_phone
+        )
+        study = analyzer.finalize(train_recon=train_recon)
+    finally:
+        world.proxy.remove_addon(capture)
+    study.dataset = dataset
+    return study

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+from ..ioutil import atomic_write_json
 from ..net.trace import Trace
 from ..pii.types import PiiType
 
@@ -84,7 +85,12 @@ class Dataset:
     # -- persistence ---------------------------------------------------------
 
     def save(self, directory: Union[str, Path]) -> None:
-        """Write traces + manifest under ``directory``."""
+        """Write traces + manifest under ``directory``.
+
+        Every file (each trace and the manifest) is written atomically,
+        and the manifest goes last — a killed save never leaves a
+        manifest pointing at truncated or missing traces.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         manifest = []
@@ -102,8 +108,7 @@ class Dataset:
                     "ground_truth": record.ground_truth_json(),
                 }
             )
-        with (directory / "manifest.json").open("w", encoding="utf-8") as handle:
-            json.dump({"sessions": manifest}, handle, indent=1)
+        atomic_write_json(directory / "manifest.json", {"sessions": manifest})
 
     @classmethod
     def load(cls, directory: Union[str, Path]) -> "Dataset":

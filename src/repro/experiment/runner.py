@@ -155,19 +155,35 @@ class ExperimentRunner:
 
     # -- full study ----------------------------------------------------------
 
-    def run_service(self, spec: ServiceSpec, duration: float = 240.0) -> list:
+    def run_service(
+        self, spec: ServiceSpec, duration: float = 240.0, phone_setup=None
+    ) -> list:
         """All cells for one service (app/web × each tested OS)."""
         records = []
         for os_name in spec.oses:
             for medium in (APP, WEB):
-                records.append(self.run_session(spec, os_name, medium, duration=duration))
+                records.append(
+                    self.run_session(
+                        spec, os_name, medium, duration=duration, phone_setup=phone_setup
+                    )
+                )
         return records
 
-    def run_study(self, services: Optional[list] = None, duration: float = 240.0) -> Dataset:
-        """Run the full measurement campaign and return the dataset."""
+    def run_study(
+        self,
+        services: Optional[list] = None,
+        duration: float = 240.0,
+        phone_setup=None,
+    ) -> Dataset:
+        """Run the full measurement campaign and return the dataset.
+
+        ``phone_setup`` is forwarded to every :meth:`run_session` — the
+        streaming pipeline uses it to stage each device's ground truth
+        into the live capture addon.
+        """
         dataset = Dataset()
         specs = services if services is not None else self.world.services
         for spec in specs:
-            for record in self.run_service(spec, duration=duration):
+            for record in self.run_service(spec, duration=duration, phone_setup=phone_setup):
                 dataset.add(record)
         return dataset

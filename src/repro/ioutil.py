@@ -1,0 +1,43 @@
+"""Atomic file-write helpers.
+
+A killed collection, checkpoint, or dataset save must never leave a
+half-written file behind: every writer in the persistence layer
+(`Trace.dump`, `Dataset.save`, the streaming checkpoints) funnels
+through :func:`atomic_write_text` / :func:`atomic_write_json`, which
+write to a temporary sibling and :func:`os.replace` it over the target.
+On POSIX the replace is atomic, so readers observe either the old
+complete file or the new complete file — never a truncation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (temp sibling + replace)."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: Union[str, Path], payload, indent: int = 1) -> None:
+    """Serialize ``payload`` as JSON and write it atomically to ``path``."""
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

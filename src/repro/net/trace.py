@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Union
 
+from ..ioutil import atomic_write_text
 from .flow import Flow
 
 FORMAT_VERSION = 1
@@ -100,13 +101,15 @@ class Trace:
     # -- serialization ----------------------------------------------------
 
     def dump(self, path: Union[str, Path]) -> None:
-        """Write the trace to ``path`` in JSONL format."""
-        path = Path(path)
-        with path.open("w", encoding="utf-8") as handle:
-            header = {"version": FORMAT_VERSION, "meta": self.meta.to_dict()}
-            handle.write(json.dumps(header) + "\n")
-            for flow in self.flows:
-                handle.write(json.dumps(flow.to_dict()) + "\n")
+        """Write the trace to ``path`` in JSONL format.
+
+        The write is atomic (temp sibling + rename): a killed collection
+        never leaves a truncated trace on disk.
+        """
+        header = {"version": FORMAT_VERSION, "meta": self.meta.to_dict()}
+        lines = [json.dumps(header)]
+        lines.extend(json.dumps(flow.to_dict()) for flow in self.flows)
+        atomic_write_text(path, "\n".join(lines) + "\n")
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Trace":

@@ -50,6 +50,37 @@ class PiiObservation:
     def detected_by_both(self) -> bool:
         return MATCHING in self.methods and RECON in self.methods
 
+    def to_dict(self) -> dict:
+        return {
+            "type": self.pii_type.value,
+            "hostname": self.hostname,
+            "domain": self.domain,
+            "url": self.url,
+            "timestamp": self.timestamp,
+            "flow_id": self.flow_id,
+            "plaintext": self.plaintext,
+            "methods": sorted(self.methods),
+            "encoding": self.encoding,
+            "key": self.key,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PiiObservation":
+        return cls(
+            pii_type=PiiType(data["type"]),
+            hostname=data["hostname"],
+            domain=data["domain"],
+            url=data["url"],
+            timestamp=data["timestamp"],
+            flow_id=data["flow_id"],
+            plaintext=bool(data["plaintext"]),
+            methods=set(data.get("methods", [])),
+            encoding=data.get("encoding", ""),
+            key=data.get("key", ""),
+            value=data.get("value", ""),
+        )
+
 
 @dataclass
 class DetectionReport:

@@ -67,3 +67,90 @@ class RequestLogger:
 
     def request(self, flow: Flow, request: Request) -> None:
         self.callback(flow, request)
+
+
+class StreamCapture:
+    """Export captured flows live into the streaming analysis bus.
+
+    Bridges the proxy's capture lifecycle to stream events (see
+    :mod:`repro.stream.bus`): ``capture_start`` becomes a
+    ``session_start`` event carrying the device's ground-truth PII,
+    each flow is published once it is *final*, and ``capture_stop``
+    becomes ``session_end``.
+
+    A flow keeps accumulating transactions until its connection closes,
+    so flows are held pending and flushed as the longest closed prefix
+    in ``flow_id`` (connect) order — the publish order is a function of
+    which flows exist, never of close timing.  Whatever is still open
+    when the capture stops can no longer change and is flushed then.
+
+    Ground truth must be staged before ``start_capture`` (the runner's
+    ``phone_setup`` hook runs at exactly the right moment — after
+    provisioning and sign-in, before capture):
+
+    >>> capture = StreamCapture(analyzer.publish)
+    >>> runner.run_session(spec, os, medium, phone_setup=capture.stage_phone)
+    """
+
+    def __init__(self, publish: Callable) -> None:
+        from ..stream.bus import flow_event, session_end_event, session_start_event
+
+        self._publish = publish
+        self._flow_event = flow_event
+        self._session_end_event = session_end_event
+        self._session_start_event = session_start_event
+        self._staged_truth: dict = {}
+        self._session = None  # (service, os, medium) while a capture runs
+        self._pending: list = []  # flows in connect order, not yet published
+        self._closed: set = set()  # flow_ids whose connection closed
+
+    # -- staging -------------------------------------------------------------
+
+    def stage_ground_truth(self, truth: dict) -> None:
+        """Provide the next session's ground truth ahead of capture."""
+        self._staged_truth = truth
+
+    def stage_phone(self, phone) -> None:
+        """Runner ``phone_setup`` hook: stage the phone's ground truth."""
+        self.stage_ground_truth(phone.ground_truth())
+
+    # -- proxy callbacks -----------------------------------------------------
+
+    def capture_start(self, meta) -> None:
+        self._session = (meta.service, meta.os_name, meta.medium)
+        self._pending = []
+        self._closed = set()
+        self._publish(self._session_start_event(meta, self._staged_truth))
+
+    def tcp_connect(self, flow: Flow) -> None:
+        if self._session is not None:
+            self._pending.append(flow)
+
+    def tcp_close(self, flow: Flow) -> None:
+        if self._session is None:
+            return
+        self._closed.add(flow.flow_id)
+        self._flush_closed_prefix()
+
+    def capture_stop(self, trace) -> None:
+        if self._session is None:
+            return
+        # Remaining open flows can't change once the capture is over.
+        for flow in self._pending:
+            self._publish(self._flow_event(self._session, flow))
+        self._publish(self._session_end_event(self._session))
+        self._session = None
+        self._pending = []
+        self._closed = set()
+        self._staged_truth = {}
+
+    def _flush_closed_prefix(self) -> None:
+        flushed = 0
+        for flow in self._pending:
+            if flow.flow_id not in self._closed:
+                break
+            self._publish(self._flow_event(self._session, flow))
+            self._closed.discard(flow.flow_id)
+            flushed += 1
+        if flushed:
+            del self._pending[:flushed]

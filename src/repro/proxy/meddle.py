@@ -16,8 +16,10 @@ Semantics mirror the real setup:
   reason the paper excludes Facebook/Twitter).  Hosts can be added to
   ``passthrough_hosts`` to tunnel them un-decrypted; their flows are
   then recorded with byte counts but no transaction payloads.
-- mitmproxy-style addons get ``request``/``response``/``tcp_connect``
-  callbacks and may tag flows (used for background-traffic labeling).
+- mitmproxy-style addons get ``request``/``response``/``tcp_connect``/
+  ``tcp_close`` callbacks plus ``capture_start``/``capture_stop``
+  lifecycle hooks, and may tag flows (used for background-traffic
+  labeling and for live export into the streaming analysis bus).
 """
 
 from __future__ import annotations
@@ -94,12 +96,14 @@ class InterceptionProxy:
         if self._trace is not None:
             raise CaptureError("capture already in progress")
         self._trace = Trace(meta=meta)
+        self._emit("capture_start", meta)
 
     def stop_capture(self) -> Trace:
         """Stop recording and return the completed trace."""
         if self._trace is None:
             raise CaptureError("no capture in progress")
         trace, self._trace = self._trace, None
+        self._emit("capture_stop", trace)
         return trace
 
     def add_addon(self, addon) -> None:
@@ -107,10 +111,36 @@ class InterceptionProxy:
         self.addons.append(addon)
         # Resolve callbacks once at registration: _emit runs twice per
         # transaction, so a getattr per addon per event adds up.
-        for event in ("tcp_connect", "request", "response"):
+        for event in (
+            "tcp_connect",
+            "tcp_close",
+            "request",
+            "response",
+            "capture_start",
+            "capture_stop",
+        ):
             callback = getattr(addon, event, None)
             if callback is not None:
                 self._callbacks.setdefault(event, []).append(callback)
+
+    def remove_addon(self, addon) -> None:
+        """Unregister an addon and drop its resolved callbacks."""
+        if addon not in self.addons:
+            return
+        self.addons.remove(addon)
+        self._callbacks = {}
+        for remaining in self.addons:
+            for event in (
+                "tcp_connect",
+                "tcp_close",
+                "request",
+                "response",
+                "capture_start",
+                "capture_stop",
+            ):
+                callback = getattr(remaining, event, None)
+                if callback is not None:
+                    self._callbacks.setdefault(event, []).append(callback)
 
     def _emit(self, event: str, *args) -> None:
         for callback in self._callbacks.get(event, ()):
@@ -242,4 +272,7 @@ class ProxyConnection:
         return response
 
     def close(self) -> None:
+        if self._closed:
+            return
         self._closed = True
+        self.proxy._emit("tcp_close", self.flow)

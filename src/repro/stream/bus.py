@@ -1,0 +1,202 @@
+"""The flow event bus: sequenced, sharded, bounded, journaled.
+
+Three event kinds travel the bus, mirroring the capture lifecycle of
+one experiment cell:
+
+- ``session_start`` — session metadata plus the device's ground-truth
+  PII (known at capture start: identifiers are burned in at
+  provisioning, persona values at sign-in);
+- ``flow`` — one *finalized* flow.  The capture addon emits a flow once
+  it can no longer change (its connection closed, or the capture
+  stopped), and always in ``flow_id`` order within the session;
+- ``session_end`` — the cell finished.
+
+Determinism contract: the publisher stamps every event with a global
+sequence number under a lock, sessions are assigned to shards by a
+stable content hash of the session key, and each shard's queue is FIFO
+— so every shard observes its sessions' events in an order that is a
+function of the input alone, never of thread timing or shard count.
+Queues are bounded; a full shard queue blocks ``publish`` (the capture
+side), which is the backpressure that keeps a fast producer from
+outrunning a slow analyzer without dropping flows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
+
+from ..net.flow import Flow
+from ..net.trace import SessionMeta
+from ..pii.types import PiiType
+
+SESSION_START = "session_start"
+FLOW = "flow"
+SESSION_END = "session_end"
+
+#: Default bound of each shard queue (events, not bytes).
+DEFAULT_QUEUE_SIZE = 1024
+
+
+def ground_truth_to_json(ground_truth: dict) -> dict:
+    """``{PiiType: [values]}`` -> JSON-safe ``{code: [values]}``."""
+    return {pii.value: list(values) for pii, values in ground_truth.items()}
+
+
+def ground_truth_from_json(data: dict) -> dict:
+    return {PiiType(code): list(values) for code, values in data.items()}
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One unit of work on the bus."""
+
+    kind: str  # SESSION_START | FLOW | SESSION_END
+    session: tuple  # (service, os_name, medium)
+    seq: int = -1  # stamped by the bus on publish
+    meta: Optional[SessionMeta] = None  # session_start only
+    ground_truth: Optional[dict] = None  # session_start only
+    flow: Optional[Flow] = None  # flow only
+
+
+def session_start_event(meta: SessionMeta, ground_truth: dict) -> StreamEvent:
+    return StreamEvent(
+        kind=SESSION_START,
+        session=(meta.service, meta.os_name, meta.medium),
+        meta=meta,
+        ground_truth=ground_truth,
+    )
+
+
+def flow_event(session: tuple, flow: Flow) -> StreamEvent:
+    return StreamEvent(kind=FLOW, session=tuple(session), flow=flow)
+
+
+def session_end_event(session: tuple) -> StreamEvent:
+    return StreamEvent(kind=SESSION_END, session=tuple(session))
+
+
+def event_to_dict(event: StreamEvent) -> dict:
+    """JSON-safe form of an event (the journal's line format)."""
+    data = {"seq": event.seq, "kind": event.kind, "session": list(event.session)}
+    if event.kind == SESSION_START:
+        data["meta"] = event.meta.to_dict() if event.meta is not None else None
+        data["ground_truth"] = ground_truth_to_json(event.ground_truth or {})
+    elif event.kind == FLOW:
+        data["flow"] = event.flow.to_dict()
+    return data
+
+
+def event_from_dict(data: dict) -> StreamEvent:
+    kind = data["kind"]
+    session = tuple(data["session"])
+    meta = None
+    ground_truth = None
+    flow = None
+    if kind == SESSION_START:
+        if data.get("meta"):
+            meta = SessionMeta.from_dict(data["meta"])
+        ground_truth = ground_truth_from_json(data.get("ground_truth", {}))
+    elif kind == FLOW:
+        flow = Flow.from_dict(data["flow"])
+    return StreamEvent(
+        kind=kind,
+        session=session,
+        seq=data.get("seq", -1),
+        meta=meta,
+        ground_truth=ground_truth,
+        flow=flow,
+    )
+
+
+def shard_for(session: tuple, shards: int) -> int:
+    """Stable session->shard assignment.
+
+    Uses a content hash (not ``hash()``, which PYTHONHASHSEED
+    randomizes) so the same session lands on the same shard in every
+    process — which is what makes checkpoints resumable.
+    """
+    text = "|".join(str(part) for part in session)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+@dataclass
+class BusStats:
+    """Live counters, readable while the stream runs."""
+
+    events: int = 0
+    flows: int = 0
+    sessions: int = 0
+    per_shard: list = field(default_factory=list)
+
+
+class FlowBus:
+    """Bounded, sharded, journaling event bus."""
+
+    def __init__(
+        self,
+        shards: int = 1,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        journal=None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.shards = shards
+        self.journal = journal  # FlowJournal or None
+        self._queues = [queue.Queue(maxsize=queue_size) for _ in range(shards)]
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._closed = False
+        self.stats = BusStats(per_shard=[0] * shards)
+
+    def shard_of(self, session: tuple) -> int:
+        return shard_for(session, self.shards)
+
+    def publish(self, event: StreamEvent) -> StreamEvent:
+        """Stamp, journal, and enqueue one event (blocking on backpressure).
+
+        Returns the stamped event.  The sequence stamp, the journal
+        append, and the queue put happen under one lock so that a
+        shard's queue always delivers its events in ascending ``seq``
+        order even with multiple publishers.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("publish on a closed bus")
+            stamped = replace(event, seq=self._seq)
+            self._seq += 1
+            if self.journal is not None:
+                self.journal.append(stamped)
+            shard = self.shard_of(stamped.session)
+            self._queues[shard].put(stamped)
+            self.stats.events += 1
+            self.stats.per_shard[shard] += 1
+            if stamped.kind == FLOW:
+                self.stats.flows += 1
+            elif stamped.kind == SESSION_START:
+                self.stats.sessions += 1
+        return stamped
+
+    def close(self) -> None:
+        """Signal end-of-stream to every shard (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for q in self._queues:
+            q.put(None)
+
+    def consume(self, shard: int) -> Iterator[StreamEvent]:
+        """Yield this shard's events until the bus closes."""
+        q = self._queues[shard]
+        while True:
+            event = q.get()
+            if event is None:
+                return
+            yield event

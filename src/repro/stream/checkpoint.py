@@ -1,0 +1,171 @@
+"""Flow journal + analyzer checkpoints (crash-safe streaming state).
+
+Two artifacts live in a checkpoint directory:
+
+- ``journal.jsonl`` — every bus event, one JSON line each, appended at
+  publish time.  The journal is the stream's durable replica: the
+  deferred ReCon passes replay it, and a resumed run uses it to decide
+  which events were already persisted.
+- ``shard-<i>.json`` — each shard's analyzer state (its sessions'
+  aggregates and leak records plus a ``watermark``: the highest event
+  sequence folded into that state).  Written atomically every
+  ``checkpoint_every`` flows, so a kill loses at most the work since
+  the last snapshot — never the file's integrity.
+
+Resume protocol: reload shard states, re-publish the deterministic
+event stream from the start, and let each shard skip events at or below
+its watermark.  Skipped events are *not* re-analyzed (no matching, no
+categorization, no leak policy); the journal appends only events beyond
+its last recorded sequence.  Because the event stream is a pure
+function of the dataset/seed, sequence numbers line up exactly across
+runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from ..ioutil import atomic_write_json
+from .bus import SESSION_END, SESSION_START, StreamEvent, event_from_dict, event_to_dict
+
+CHECKPOINT_VERSION = 1
+JOURNAL_NAME = "journal.jsonl"
+
+
+class CheckpointError(Exception):
+    """Raised on malformed or incompatible checkpoint state."""
+
+
+class FlowJournal:
+    """Append-only JSONL log of stream events.
+
+    ``resume=True`` re-opens an existing journal: the tail is scanned
+    for the last complete line (a crash can truncate the final write),
+    anything after it is discarded, and subsequent appends skip events
+    already on disk — so re-publishing the stream from the start is
+    idempotent.
+    """
+
+    def __init__(self, path: Union[str, Path], resume: bool = False) -> None:
+        self.path = Path(path)
+        self.last_seq = -1
+        if resume and self.path.exists():
+            self._recover()
+            self._handle = self.path.open("a", encoding="utf-8")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+
+    def _recover(self) -> None:
+        """Find the last complete line; truncate any torn tail."""
+        good_end = 0
+        with self.path.open("r+", encoding="utf-8") as handle:
+            while True:
+                line = handle.readline()
+                if not line:
+                    break
+                if not line.endswith("\n"):
+                    break  # torn final write
+                try:
+                    data = json.loads(line)
+                    self.last_seq = int(data["seq"])
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    break
+                good_end = handle.tell()
+            handle.truncate(good_end)
+
+    def append(self, event: StreamEvent) -> None:
+        """Write one event; silently skips already-journaled sequences."""
+        if event.seq <= self.last_seq:
+            return
+        self._handle.write(json.dumps(event_to_dict(event)) + "\n")
+        self._handle.flush()
+        self.last_seq = event.seq
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def events(self) -> Iterator[StreamEvent]:
+        """Replay every journaled event (independent read handle)."""
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                yield event_from_dict(json.loads(line))
+
+    def sessions(self) -> Iterator[tuple]:
+        """Yield ``(session_key, ground_truth, [flows])`` per session.
+
+        Sessions are contiguous in the journal (captures are serialized
+        through one proxy), so this streams the file without holding
+        more than one session's flows at a time.
+        """
+        key = None
+        ground_truth: dict = {}
+        flows: list = []
+        for event in self.events():
+            if event.kind == SESSION_START:
+                key = event.session
+                ground_truth = event.ground_truth or {}
+                flows = []
+            elif event.kind == SESSION_END:
+                if key is not None:
+                    yield (key, ground_truth, flows)
+                key = None
+            elif key is not None:
+                flows.append(event.flow)
+
+
+class CheckpointManager:
+    """Owns one checkpoint directory: the journal plus shard snapshots."""
+
+    def __init__(self, directory: Union[str, Path], shards: int) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.shards = shards
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / JOURNAL_NAME
+
+    def shard_path(self, index: int) -> Path:
+        return self.directory / f"shard-{index}.json"
+
+    def has_state(self) -> bool:
+        return self.journal_path.exists() or any(
+            self.shard_path(i).exists() for i in range(self.shards)
+        )
+
+    def save_shard(self, index: int, watermark: int, sessions: list) -> None:
+        """Atomically snapshot one shard's analyzer state."""
+        atomic_write_json(
+            self.shard_path(index),
+            {
+                "version": CHECKPOINT_VERSION,
+                "shards": self.shards,
+                "shard": index,
+                "watermark": watermark,
+                "sessions": sessions,
+            },
+        )
+
+    def load_shard(self, index: int) -> Optional[dict]:
+        """Load one shard snapshot; ``None`` when never checkpointed."""
+        path = self.shard_path(index)
+        if not path.exists():
+            return None
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {data.get('version')!r} in {path}"
+            )
+        if data.get("shards") != self.shards:
+            raise CheckpointError(
+                f"checkpoint {path} was written with shards={data.get('shards')}, "
+                f"cannot resume with shards={self.shards}"
+            )
+        return data

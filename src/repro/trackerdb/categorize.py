@@ -43,6 +43,21 @@ class FlowCategory:
     def is_third_party(self) -> bool:
         return self.label in (THIRD_PARTY_AA, THIRD_PARTY_OTHER)
 
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "domain": self.domain,
+            "matched_rule": self.matched_rule,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FlowCategory":
+        return cls(
+            label=data["label"],
+            domain=data["domain"],
+            matched_rule=data.get("matched_rule"),
+        )
+
 
 class Categorizer:
     """Categorizes flows for one service under test.

@@ -31,6 +31,11 @@ class TestExamples:
         assert "A&A domains" in out
         assert "web contacts more A&A domains" in out
 
+    def test_streaming_analysis(self):
+        out = run_example("streaming_analysis.py")
+        assert "8/8 sessions identical to the streaming result" in out
+        assert "8/8 sessions identical to batch" in out
+
     def test_password_leak_audit(self):
         out = run_example("password_leak_audit.py")
         assert "taplytics" in out

@@ -1,0 +1,402 @@
+"""Streaming subsystem: bus, checkpoints, and batch equivalence.
+
+The contract under test is exact: for any seed, any shard count, and
+any kill/resume point, the streaming pipeline's :class:`SessionAnalysis`
+results must *equal* (field-for-field, leak lists included) what the
+batch ``analyze_dataset`` reference path produces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.core.pipeline import analyze_dataset, run_study
+from repro.ioutil import atomic_write_json, atomic_write_text
+from repro.proxy.addons import StreamCapture
+from repro.services.catalog import build_catalog
+from repro.stream import (
+    FLOW,
+    SESSION_END,
+    SESSION_START,
+    CheckpointManager,
+    DatasetStreamer,
+    FlowBus,
+    FlowJournal,
+    StreamAnalyzer,
+    StreamError,
+    event_from_dict,
+    event_to_dict,
+    flow_event,
+    session_end_event,
+    session_start_event,
+    stream_dataset,
+)
+from repro.stream.bus import shard_for
+
+STREAM_SLUGS = ("weather", "cnn", "yelp")
+SEEDS = (2016, 7)
+DURATION = 40.0
+
+
+@pytest.fixture(scope="module")
+def stream_specs():
+    by_slug = {spec.slug: spec for spec in build_catalog()}
+    return [by_slug[slug] for slug in STREAM_SLUGS]
+
+
+@pytest.fixture(scope="module", params=SEEDS, ids=lambda s: f"seed{s}")
+def batch_study(request, stream_specs):
+    """Reference batch study (collection + analysis) for one seed."""
+    return run_study(stream_specs, seed=request.param, duration=DURATION)
+
+
+def _sessions(study) -> dict:
+    return {(a.service, a.os_name, a.medium): a for a in study.analyses()}
+
+
+def _assert_equal_studies(batch, streamed) -> None:
+    expected = _sessions(batch)
+    actual = _sessions(streamed)
+    assert set(actual) == set(expected)
+    for key in sorted(expected):
+        assert actual[key] == expected[key], key
+    assert [r.spec.slug for r in streamed.services] == [
+        r.spec.slug for r in batch.services
+    ]
+
+
+# -- equivalence with the batch reference path ------------------------------
+
+
+@pytest.mark.parametrize("shards", [1, 2, 8])
+def test_stream_equals_batch(batch_study, stream_specs, shards):
+    streamed = stream_dataset(batch_study.dataset, stream_specs, shards=shards)
+    _assert_equal_studies(batch_study, streamed)
+
+
+def test_stream_equals_batch_without_recon(batch_study, stream_specs):
+    batch = analyze_dataset(batch_study.dataset, stream_specs, train_recon=False)
+    streamed = stream_dataset(
+        batch_study.dataset, stream_specs, shards=2, train_recon=False
+    )
+    _assert_equal_studies(batch, streamed)
+    assert streamed.recon is None
+
+
+def test_run_study_streaming_equals_batch(stream_specs):
+    batch = run_study(stream_specs, seed=2016, duration=DURATION)
+    streamed = run_study(
+        stream_specs, seed=2016, duration=DURATION, streaming=True, shards=2
+    )
+    _assert_equal_studies(batch, streamed)
+    assert len(streamed.dataset) == len(batch.dataset)
+
+
+def test_streaming_run_leaves_proxy_clean(stream_specs):
+    """The live capture addon detaches when the streaming study ends."""
+    from repro.services.world import build_world
+
+    world = build_world(stream_specs)
+    run_study(
+        stream_specs,
+        seed=2016,
+        duration=DURATION,
+        world=world,
+        streaming=True,
+    )
+    assert not any(isinstance(a, StreamCapture) for a in world.proxy.addons)
+
+
+# -- crash + resume ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("kill_after", [5, 150, 400])
+def test_kill_and_resume_matches_batch(
+    batch_study, stream_specs, tmp_path, kill_after
+):
+    checkpoint = tmp_path / "ckpt"
+    first = DatasetStreamer(
+        batch_study.dataset,
+        stream_specs,
+        shards=2,
+        checkpoint_dir=checkpoint,
+        checkpoint_every=25,
+    )
+    published = first.run(limit=kill_after)
+    assert published == kill_after
+    first.analyzer.abort()  # simulated kill: no final snapshot
+
+    resumed = DatasetStreamer(
+        batch_study.dataset,
+        stream_specs,
+        shards=2,
+        checkpoint_dir=checkpoint,
+        checkpoint_every=25,
+        resume=True,
+    )
+    resumed.run()
+    _assert_equal_studies(batch_study, resumed.finalize())
+
+
+def test_resume_skips_checkpointed_events(batch_study, stream_specs, tmp_path):
+    """Events at or below a shard's watermark are not re-analyzed."""
+    first = DatasetStreamer(
+        batch_study.dataset,
+        stream_specs,
+        shards=1,
+        checkpoint_dir=tmp_path,
+        checkpoint_every=10,
+    )
+    first.run(limit=200)
+    first.analyzer.abort()
+    snapshot = json.loads((tmp_path / "shard-0.json").read_text())
+    assert snapshot["watermark"] >= 0
+
+    resumed = StreamAnalyzer(
+        stream_specs, shards=1, checkpoint_dir=tmp_path, resume=True
+    )
+    worker = resumed.workers[0]
+    assert worker.watermark == snapshot["watermark"]
+    ingested = []
+    for state in worker.sessions.values():
+        original = state.ingest_flow
+        state.ingest_flow = lambda flow, _orig=original: ingested.append(flow)
+    # Replaying an already-folded event must be a no-op.
+    replayed = 0
+    for event in FlowJournal(tmp_path / "journal.jsonl", resume=True).events():
+        if event.seq <= worker.watermark and event.kind == FLOW:
+            worker.process(event)
+            replayed += 1
+    assert replayed > 0
+    assert ingested == []
+    resumed.bus.close()
+    resumed.journal.close()
+
+
+def test_shard_count_change_rejected(batch_study, stream_specs, tmp_path):
+    from repro.stream import CheckpointError
+
+    first = DatasetStreamer(
+        batch_study.dataset,
+        stream_specs,
+        shards=2,
+        checkpoint_dir=tmp_path,
+        checkpoint_every=10,
+    )
+    first.run(limit=100)
+    first.analyzer.abort()
+    with pytest.raises(CheckpointError):
+        DatasetStreamer(
+            batch_study.dataset,
+            stream_specs,
+            shards=4,
+            checkpoint_dir=tmp_path,
+            resume=True,
+        )
+
+
+def test_journal_recovers_torn_tail(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = FlowJournal(path)
+    first = session_start_event_fixture()
+    stamped = []
+    for seq, event in enumerate(first):
+        from dataclasses import replace
+
+        event = replace(event, seq=seq)
+        journal.append(event)
+        stamped.append(event)
+    journal.close()
+    # Simulate a crash mid-write: torn, newline-less final line.
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('{"seq": 99, "kind": "flow", "ses')
+
+    recovered = FlowJournal(path, resume=True)
+    assert recovered.last_seq == stamped[-1].seq
+    replayed = list(recovered.events())
+    assert [e.seq for e in replayed] == [e.seq for e in stamped]
+    recovered.close()
+
+
+def session_start_event_fixture():
+    from repro.net.trace import SessionMeta
+    from repro.pii.types import PiiType
+
+    meta = SessionMeta(service="svc", os_name="android", medium="app")
+    yield session_start_event(meta, {PiiType.EMAIL: ["a@b.com"]})
+    yield session_end_event(("svc", "android", "app"))
+
+
+# -- bus ---------------------------------------------------------------------
+
+
+def test_shard_assignment_is_stable_and_in_range():
+    sessions = [("weather", "android", "app"), ("cnn", "ios", "web")]
+    for session in sessions:
+        for shards in (1, 2, 8, 13):
+            first = shard_for(session, shards)
+            assert 0 <= first < shards
+            assert shard_for(session, shards) == first  # content hash, not hash()
+    assert shard_for(sessions[0], 1) == 0
+
+
+def test_bus_stamps_monotonic_seq_and_counts():
+    bus = FlowBus(shards=2)
+    session = ("svc", "android", "app")
+    events = [
+        bus.publish(session_end_event(session)),
+        bus.publish(session_end_event(("other", "ios", "web"))),
+        bus.publish(session_end_event(session)),
+    ]
+    assert [e.seq for e in events] == [0, 1, 2]
+    assert bus.stats.events == 3
+    bus.close()
+    with pytest.raises(RuntimeError):
+        bus.publish(session_end_event(session))
+
+
+def test_bus_backpressure_blocks_until_consumed(batch_study):
+    record = next(iter(batch_study.dataset))
+    bus = FlowBus(shards=1, queue_size=1)
+    session = record.key
+    consumed = []
+
+    def consumer():
+        for event in bus.consume(0):
+            consumed.append(event)
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    for flow in record.trace:
+        bus.publish(flow_event(session, flow))  # would deadlock without a consumer
+    bus.close()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert len(consumed) == len(record.trace)
+    assert [e.seq for e in consumed] == sorted(e.seq for e in consumed)
+
+
+def test_event_json_roundtrip(batch_study):
+    from dataclasses import replace
+
+    record = next(iter(batch_study.dataset))
+    events = [
+        session_start_event(record.trace.meta, record.ground_truth),
+        flow_event(record.key, next(iter(record.trace))),
+        session_end_event(record.key),
+    ]
+    for seq, event in enumerate(events):
+        stamped = replace(event, seq=seq)
+        back = event_from_dict(json.loads(json.dumps(event_to_dict(stamped))))
+        assert back.kind == stamped.kind
+        assert back.session == stamped.session
+        assert back.seq == seq
+        if stamped.kind == SESSION_START:
+            assert back.ground_truth == record.ground_truth
+        if stamped.kind == FLOW:
+            assert back.flow == stamped.flow
+
+
+def test_unknown_session_flow_raises(stream_specs):
+    analyzer = StreamAnalyzer(stream_specs, shards=1)
+    analyzer.start()
+    analyzer.publish(session_end_event(("nope", "android", "app")))
+    with pytest.raises(StreamError):
+        analyzer.finish()
+    analyzer.journal.close()
+
+
+# -- live capture addon ------------------------------------------------------
+
+
+def test_stream_capture_publishes_in_connect_order():
+    """Closed-prefix flushing makes publish order independent of close order."""
+
+    class _Flow:
+        def __init__(self, flow_id):
+            self.flow_id = flow_id
+
+    class _Meta:
+        service, os_name, medium = "svc", "android", "app"
+
+    published = []
+    capture = StreamCapture(published.append)
+    capture.stage_ground_truth({})
+    capture.capture_start(_Meta())
+    flows = [_Flow(i) for i in range(4)]
+    for flow in flows:
+        capture.tcp_connect(flow)
+    # Close out of order: 2 first, then 0 (flushes 0..2), 3, then stop.
+    capture.tcp_close(flows[2])
+    capture.tcp_close(flows[0])
+    capture.tcp_close(flows[1])
+    capture.tcp_close(flows[3])
+    capture.capture_stop(None)
+
+    kinds = [e.kind for e in published]
+    assert kinds == [SESSION_START, FLOW, FLOW, FLOW, FLOW, SESSION_END]
+    assert [e.flow.flow_id for e in published if e.kind == FLOW] == [0, 1, 2, 3]
+
+
+# -- atomic writes (satellite) ----------------------------------------------
+
+
+def test_atomic_write_text_replaces_and_cleans_up(tmp_path):
+    target = tmp_path / "out.txt"
+    target.write_text("old")
+    atomic_write_text(target, "new contents\n")
+    assert target.read_text() == "new contents\n"
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]  # no temp litter
+
+
+def test_atomic_write_json(tmp_path):
+    target = tmp_path / "out.json"
+    atomic_write_json(target, {"a": [1, 2]})
+    assert json.loads(target.read_text()) == {"a": [1, 2]}
+
+
+def test_dataset_save_is_atomic(batch_study, tmp_path):
+    out = tmp_path / "ds"
+    batch_study.dataset.save(out)
+    leftovers = [p.name for p in out.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []
+    from repro.experiment.dataset import Dataset
+
+    reloaded = Dataset.load(out)
+    assert len(reloaded) == len(batch_study.dataset)
+
+
+# -- session analysis serialization -----------------------------------------
+
+
+def test_session_analysis_roundtrip(batch_study):
+    from repro.core.pipeline import SessionAnalysis
+
+    for analysis in batch_study.analyses():
+        data = json.loads(json.dumps(analysis.to_dict()))
+        assert SessionAnalysis.from_dict(data) == analysis
+
+
+# -- CLI (satellite) ---------------------------------------------------------
+
+
+def test_resolve_workers_zero_means_all_cores():
+    from repro.cli import _resolve_workers
+
+    assert _resolve_workers(3) == 3
+    assert _resolve_workers(0) == (os.cpu_count() or 1)
+
+
+def test_cli_stream_replay(batch_study, tmp_path, capsys):
+    from repro.cli import main
+
+    directory = tmp_path / "ds"
+    batch_study.dataset.save(directory)
+    assert main(["stream", "--dataset", str(directory), "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "flows/s" in out
+    assert "Group" in out  # table 1 rendered
