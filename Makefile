@@ -1,7 +1,11 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench bench-all bench-check bench-stream clean
+# `make serve` demo knobs.
+RESULT ?= demo-study
+PORT ?= 8080
+
+.PHONY: test bench bench-all bench-check bench-stream bench-serve serve clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -19,6 +23,24 @@ bench-stream:
 		benchmarks/test_bench_stream.py --benchmark-only \
 		--benchmark-json=BENCH_stream.json -q
 
+# Serving throughput + latency: closed-loop load against the live HTTP
+# server (warm-cache >= 1,000 req/s acceptance bar, p50/p99 recorded),
+# checked against the recorded baseline (first run records it).
+bench-serve:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/test_bench_serve.py --benchmark-only \
+		--benchmark-json=BENCH_serve.json -q
+	$(PYTHON) benchmarks/check_regression.py BENCH_serve.json \
+		--baseline benchmarks/BENCH_serve.json
+
+# Serve the recommender API over a demo study (collects the 3-service
+# subset on first use; override RESULT= to serve your own results).
+serve:
+	@test -f $(RESULT)/manifest.json || \
+		PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro collect \
+			--services weather,grubhub,cnn --out $(RESULT)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro serve --result $(RESULT) --port $(PORT)
+
 # Every benchmark, including the full 50-service study fixtures.
 bench-all:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
@@ -31,5 +53,5 @@ bench-check: bench
 	$(PYTHON) benchmarks/check_regression.py BENCH_pipeline.json
 
 clean:
-	rm -f BENCH_pipeline.json BENCH_all.json BENCH_stream.json
+	rm -f BENCH_pipeline.json BENCH_all.json BENCH_stream.json BENCH_serve.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,113 @@
+"""The recommender served over HTTP: launch, query, compare profiles.
+
+`repro.serve` packages the app-or-web recommender as a small HTTP API
+over precomputed study results — the same scoring `Recommender` does
+in-process, but behind endpoints a dashboard or script can hit.  This
+example:
+
+1. runs a 3-service study and saves it the way `repro collect` would;
+2. boots the server in-process on an ephemeral port (`BackgroundServer`
+   — the production path is `repro serve --result DIR --port N`);
+3. queries `/healthz`, `/v1/services`, and `/v1/recommend`
+   programmatically with plain `urllib`;
+4. re-asks with a location-sensitive preference profile, showing the
+   same services flip verdicts — the paper's "it depends" conclusion,
+   now one POST body away.
+
+Run:  python examples/recommender_service.py
+"""
+
+import json
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro.core.pipeline import run_study
+from repro.serve import BackgroundServer, LruTtlCache, ResultStore, ServeApp
+from repro.services import build_catalog
+
+SERVICES = ("weather", "grubhub", "cnn")
+
+
+def get(url: str) -> dict:
+    with urllib.request.urlopen(url) as response:
+        return json.load(response)
+
+
+def post(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(), headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.load(response)
+
+
+def show(answer: dict, label: str) -> None:
+    print(f"\n--- {label} ---")
+    for rec in answer["recommendations"]:
+        marker = {"app": "[APP]", "web": "[WEB]", "either": "[ = ]"}[rec["choice"]]
+        print(
+            f"  {marker} {rec['service']:12s} "
+            f"app={rec['app_score']:5.2f} web={rec['web_score']:5.2f}"
+        )
+    summary = answer["summary"]
+    print(f"  summary: app={summary['app']} web={summary['web']} either={summary['either']}")
+
+
+def main() -> None:
+    catalog = {spec.slug: spec for spec in build_catalog()}
+    study = run_study(
+        services=[catalog[slug] for slug in SERVICES],
+        seed=2016,
+        duration=120.0,
+        train_recon=False,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "study"
+        study.dataset.save(directory)
+
+        store = ResultStore(directory, train_recon=False)
+        app = ServeApp(store, cache=LruTtlCache(maxsize=1024, ttl=300.0))
+        with BackgroundServer(app) as server:
+            base = f"http://{server.host}:{server.port}"
+            health = get(f"{base}/healthz")
+            print(
+                f"serving {health['services']} services from a {health['source']} "
+                f"(etag {health['etag']}, status {health['status']})"
+            )
+
+            listed = get(f"{base}/v1/services")["services"]
+            for entry in listed:
+                leaks = []
+                if entry["leaks_via_app"]:
+                    leaks.append("app")
+                if entry["leaks_via_web"]:
+                    leaks.append("web")
+                print(f"  {entry['service']:12s} {entry['name']} (leaks via: {', '.join(leaks)})")
+
+            show(post(f"{base}/v1/recommend", {"os": "android"}), "balanced (default weights)")
+
+            location_sensitive = {
+                "os": "android",
+                "preferences": {"weights": {"location": 1.0, "unique_id": 0.0, "email": 0.0}},
+            }
+            show(
+                post(f"{base}/v1/recommend", location_sensitive),
+                "location-sensitive user",
+            )
+
+            # Same question again: this one is answered from the cache.
+            cached = post(f"{base}/v1/recommend", {"os": "android"})
+            stats = app.cache.stats()
+            print(
+                f"\nrepeat query served from cache "
+                f"(hits={stats['hits']}, misses={stats['misses']}), "
+                f"answer unchanged: {cached['summary']}"
+            )
+
+    print("\nserver drained cleanly; same scores as calling Recommender in-process.")
+
+
+if __name__ == "__main__":
+    main()

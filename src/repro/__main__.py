@@ -1,0 +1,12 @@
+"""``python -m repro`` — the CLI without an installed console script.
+
+Keeps Makefile targets and CI jobs working straight off a checkout
+(``PYTHONPATH=src python -m repro serve ...``).
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,9 +104,26 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def _preferences_from_args(args) -> PrivacyPreferences:
+    """``--prefs FILE.json`` plus ``--weight TYPE=VAL`` overrides."""
+    import json
+
+    from .core.recommend import apply_weight_overrides, preferences_from_dict
+
+    preferences = PrivacyPreferences()
+    try:
+        if getattr(args, "prefs", None):
+            with open(args.prefs, "r", encoding="utf-8") as handle:
+                preferences = preferences_from_dict(json.load(handle))
+        preferences = apply_weight_overrides(preferences, getattr(args, "weight", None) or [])
+    except (ValueError, OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bad preferences: {exc}")
+    return preferences
+
+
 def cmd_recommend(args) -> int:
     study = _build_study(args)
-    preferences = PrivacyPreferences()
+    preferences = _preferences_from_args(args)
     recommender = Recommender(study, preferences)
     for os_name in ("android", "ios"):
         print(f"--- {os_name} ---")
@@ -209,6 +226,41 @@ def cmd_stream(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve the recommender + study-query API over saved results."""
+    import logging
+
+    from .serve import LruTtlCache, RateLimiter, ResultStore, ServeApp, ServeServer
+
+    logging.basicConfig(level=logging.INFO, format="%(message)s")
+    workers = _resolve_workers(args.workers)
+    store = ResultStore(args.result, train_recon=not args.no_recon, workers=workers)
+    limiter = None
+    if args.rate > 0:
+        limiter = RateLimiter(rate=args.rate, burst=args.burst or max(1, int(args.rate)))
+    app = ServeApp(
+        store,
+        cache=LruTtlCache(maxsize=args.cache_size, ttl=args.cache_ttl),
+        limiter=limiter,
+    )
+    server = ServeServer(
+        app,
+        host=args.host,
+        port=args.port,
+        max_concurrency=workers,
+        request_timeout=args.timeout,
+        drain_timeout=args.drain_timeout,
+    )
+    snapshot = store.snapshot
+    print(
+        f"serving {snapshot.service_count} service(s) from {args.result} "
+        f"({snapshot.source}, etag {snapshot.etag}) on http://{args.host}:{args.port}"
+    )
+    server.run(install_signal_handlers=True)
+    print("drained; bye")
+    return 0
+
+
 def cmd_har(args) -> int:
     from .experiment.runner import ExperimentRunner
     from .net.har import dump_har
@@ -299,7 +351,66 @@ def build_parser() -> argparse.ArgumentParser:
 
     rec_parser = sub.add_parser("recommend", help="app-or-web per service")
     _add_common(rec_parser)
+    rec_parser.add_argument(
+        "--weight",
+        action="append",
+        metavar="TYPE=VAL",
+        help="override one identifier weight (e.g. --weight location=1.0); repeatable",
+    )
+    rec_parser.add_argument(
+        "--prefs",
+        metavar="FILE.json",
+        help="preference JSON (weights/tracker_aversion/plaintext_aversion); "
+        "same schema as the POST /v1/recommend body's 'preferences' field",
+    )
     rec_parser.set_defaults(func=cmd_recommend)
+
+    serve_parser = sub.add_parser(
+        "serve", help="HTTP recommender + study-query API over saved results"
+    )
+    serve_parser.add_argument(
+        "--result",
+        required=True,
+        help="result directory: a saved dataset ('repro collect --out') or a "
+        "streaming checkpoint ('repro stream --checkpoint-dir')",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8080)
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=16,
+        help="max concurrent requests (0 = one per CPU core); also store "
+        "analysis threads at load time",
+    )
+    serve_parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="per-client rate limit in requests/second (0 = unlimited)",
+    )
+    serve_parser.add_argument(
+        "--burst", type=int, default=0, help="rate-limit burst size (default: ceil(rate))"
+    )
+    serve_parser.add_argument(
+        "--cache-size", type=int, default=4096, help="recommendation cache entries"
+    )
+    serve_parser.add_argument(
+        "--cache-ttl", type=float, default=300.0, help="recommendation cache TTL (s)"
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=10.0, help="per-request timeout (s)"
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="max seconds to finish in-flight requests on SIGTERM",
+    )
+    serve_parser.add_argument(
+        "--no-recon", action="store_true", help="skip ReCon training at store load"
+    )
+    serve_parser.set_defaults(func=cmd_serve)
 
     catalog_parser = sub.add_parser("catalog", help="list the 50 services")
     catalog_parser.set_defaults(func=cmd_catalog)

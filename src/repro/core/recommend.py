@@ -59,6 +59,101 @@ class PrivacyPreferences:
         return cls(weights={t: (1.0 if t in types else 0.0) for t in PiiType})
 
 
+def _parse_weight(pii_name, value) -> tuple:
+    """Validate one ``(type name, value)`` pair into ``(PiiType, float)``."""
+    try:
+        pii_type = PiiType(str(pii_name).strip().lower())
+    except ValueError:
+        valid = ", ".join(t.value for t in PiiType)
+        raise ValueError(f"unknown PII type {pii_name!r} (valid: {valid})") from None
+    try:
+        weight = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"weight for {pii_type.value} must be a number, got {value!r}"
+        ) from None
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError(f"weight for {pii_type.value} must be in [0, 1], got {weight}")
+    return pii_type, weight
+
+
+def parse_weight_override(text: str) -> tuple:
+    """Parse one ``TYPE=VAL`` override (CLI ``--weight email=0.9``)."""
+    name, sep, raw = text.partition("=")
+    if not sep or not raw:
+        raise ValueError(f"expected TYPE=VAL (e.g. email=0.9), got {text!r}")
+    return _parse_weight(name, raw)
+
+
+def _parse_aversion(name: str, value) -> float:
+    try:
+        aversion = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"{name} must be a number, got {value!r}") from None
+    if aversion < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {aversion}")
+    return aversion
+
+
+def preferences_from_dict(data: dict) -> PrivacyPreferences:
+    """Build preferences from a JSON-safe dict.
+
+    The one parser behind both scriptable surfaces: ``repro recommend
+    --prefs FILE.json`` and the service's ``POST /v1/recommend`` body.
+    Unlisted weights keep their :data:`DEFAULT_WEIGHTS` value; unknown
+    fields or types raise ``ValueError`` rather than silently scoring 0.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"preferences must be a JSON object, got {type(data).__name__}")
+    allowed = {"weights", "tracker_aversion", "plaintext_aversion"}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(f"unknown preference field(s): {', '.join(unknown)}")
+    weights = dict(DEFAULT_WEIGHTS)
+    raw_weights = data.get("weights") or {}
+    if not isinstance(raw_weights, dict):
+        raise ValueError("'weights' must be an object of {type: value}")
+    for name, value in raw_weights.items():
+        pii_type, weight = _parse_weight(name, value)
+        weights[pii_type] = weight
+    kwargs = {"weights": weights}
+    for field_name in ("tracker_aversion", "plaintext_aversion"):
+        if field_name in data:
+            kwargs[field_name] = _parse_aversion(field_name, data[field_name])
+    return PrivacyPreferences(**kwargs)
+
+
+def apply_weight_overrides(
+    preferences: PrivacyPreferences, overrides: list
+) -> PrivacyPreferences:
+    """Return a copy with ``TYPE=VAL`` strings folded into the weights."""
+    if not overrides:
+        return preferences
+    weights = dict(preferences.weights)
+    for override in overrides:
+        pii_type, weight = parse_weight_override(override)
+        weights[pii_type] = weight
+    return PrivacyPreferences(
+        weights=weights,
+        tracker_aversion=preferences.tracker_aversion,
+        plaintext_aversion=preferences.plaintext_aversion,
+    )
+
+
+def preferences_key(preferences: PrivacyPreferences) -> tuple:
+    """Canonical hashable form (the serving cache's key component).
+
+    Two preference objects that score every session identically map to
+    the same key: the weight of *every* :class:`PiiType` is included
+    (missing entries resolve through :meth:`PrivacyPreferences.weight`).
+    """
+    return (
+        tuple(preferences.weight(t) for t in PiiType),
+        preferences.tracker_aversion,
+        preferences.plaintext_aversion,
+    )
+
+
 @dataclass(frozen=True)
 class Recommendation:
     """The verdict for one service on one OS."""
@@ -72,6 +167,17 @@ class Recommendation:
     @property
     def margin(self) -> float:
         return abs(self.app_score - self.web_score)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the serving layer's wire format)."""
+        return {
+            "service": self.service,
+            "os": self.os_name,
+            "choice": self.choice,
+            "app_score": self.app_score,
+            "web_score": self.web_score,
+            "margin": self.margin,
+        }
 
 
 def score_session(analysis: SessionAnalysis, preferences: PrivacyPreferences) -> float:

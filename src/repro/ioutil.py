@@ -41,3 +41,18 @@ def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8"
 def atomic_write_json(path: Union[str, Path], payload, indent: int = 1) -> None:
     """Serialize ``payload`` as JSON and write it atomically to ``path``."""
     atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")
+
+
+def file_fingerprint(path: Union[str, Path]):
+    """``(size, mtime_ns)`` of ``path``, or ``None`` when it is missing.
+
+    A cheap change detector for hot-reloading readers (the serving
+    layer's result store): because every writer in this codebase goes
+    through the atomic-replace helpers above, any content change is an
+    inode swap and therefore always moves the fingerprint.
+    """
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return None
+    return (stat.st_size, stat.st_mtime_ns)

@@ -1,0 +1,53 @@
+"""Production serving layer: the paper's recommender as a live service.
+
+The deliverable end users actually touched was the interactive
+app-vs-web recommender (https://recon.meddle.mobi/appvsweb/); this
+package is that deployment surface for the reproduction.  It serves
+precomputed study results — a saved dataset or a streaming checkpoint —
+over a dependency-free asyncio HTTP API:
+
+========================  ====================================================
+``GET /healthz``          liveness + store version/ETag
+``GET /metrics``          Prometheus text exposition
+``GET /v1/services``      the studied services and where they leak
+``GET /v1/services/{s}``  per-cell (OS x medium) leak and A&A detail
+``POST /v1/recommend``    app-or-web verdicts under caller preferences
+========================  ====================================================
+
+Layering (see DESIGN §5d): :class:`ResultStore` (versioned, hot-
+reloading study snapshots) → :class:`LruTtlCache` (preference-keyed
+response bytes) → :class:`ServeApp` (routing/handlers, 429s via
+:class:`RateLimiter`) → :class:`ServeServer` (asyncio lifecycle,
+bounded concurrency, graceful drain).  :mod:`repro.serve.loadgen`
+closes the loop for ``make bench-serve``.
+"""
+
+from .app import Request, Response, ServeApp, canonical_json, recommend_payload
+from .cache import LruTtlCache
+from .loadgen import LoadReport, run_load
+from .metrics import Counter, Gauge, Histogram, Registry
+from .ratelimit import RateLimiter
+from .server import BackgroundServer, ServeServer
+from .store import ResultStore, StoreError, StoreSnapshot, dataset_from_journal
+
+__all__ = [
+    "BackgroundServer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LoadReport",
+    "LruTtlCache",
+    "RateLimiter",
+    "Registry",
+    "Request",
+    "Response",
+    "ResultStore",
+    "ServeApp",
+    "ServeServer",
+    "StoreError",
+    "StoreSnapshot",
+    "canonical_json",
+    "dataset_from_journal",
+    "recommend_payload",
+    "run_load",
+]

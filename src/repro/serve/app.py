@@ -1,0 +1,390 @@
+"""HTTP routing and handlers for the recommender service.
+
+Transport-free by design: :meth:`ServeApp.handle` maps a parsed
+:class:`Request` to a :class:`Response`, so the full API contract is
+testable without sockets and the asyncio server in
+:mod:`repro.serve.server` stays a thin byte shuffler.
+
+Request path for the API routes: hot-reload check on the store (one
+``os.stat`` amortized), per-client token bucket (429 on empty), then
+the handler — which for ``POST /v1/recommend`` consults the
+preference-keyed response cache before scoring.  Every response is
+stamped with the store snapshot's content ETag; conditional GETs
+(``If-None-Match``) short-circuit to 304.
+
+Recommendation responses are built by :func:`recommend_payload` straight
+from :mod:`repro.core.recommend` dataclasses and serialized with one
+canonical ``json.dumps`` configuration — which is what makes the served
+bytes reproducible against a direct library call (pinned in
+``tests/test_serve.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.recommend import (
+    PrivacyPreferences,
+    Recommender,
+    preferences_from_dict,
+    preferences_key,
+)
+from ..experiment.dataset import OSES
+from .cache import LruTtlCache
+from .metrics import Registry
+from .ratelimit import RateLimiter
+from .store import ResultStore, StoreSnapshot
+
+JSON_TYPE = "application/json"
+METRICS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Largest accepted request body (a preference object is < 1 KiB).
+MAX_BODY_BYTES = 64 * 1024
+
+
+def canonical_json(payload) -> bytes:
+    """The one serialization every response goes through.
+
+    ``sort_keys`` + fixed separators make the bytes a pure function of
+    the payload — the property both the response cache and the
+    byte-identical acceptance test lean on.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request (transport-independent)."""
+
+    method: str
+    path: str
+    headers: dict = field(default_factory=dict)  # lower-cased names
+    body: bytes = b""
+    client: str = "local"
+
+    @property
+    def client_id(self) -> str:
+        """Rate-limit identity: explicit header first, else peer address."""
+        return self.headers.get("x-client-id", self.client)
+
+
+@dataclass
+class Response:
+    status: int
+    body: bytes = b""
+    content_type: str = JSON_TYPE
+    headers: dict = field(default_factory=dict)
+    route: str = "other"  # normalized route label for metrics
+
+
+def json_response(status: int, payload, route: str, headers: Optional[dict] = None) -> Response:
+    return Response(
+        status=status,
+        body=canonical_json(payload) + b"\n",
+        headers=dict(headers or {}),
+        route=route,
+    )
+
+
+def error_response(status: int, message: str, route: str, headers: Optional[dict] = None) -> Response:
+    return json_response(status, {"error": message}, route, headers)
+
+
+def _summarize_cell(analysis) -> dict:
+    """The per-cell detail ``GET /v1/services/{name}`` exposes."""
+    plaintext_types = sorted({r.pii_type.value for r in analysis.leaks if r.plaintext})
+    return {
+        "flows_total": analysis.flows_total,
+        "leak_types": sorted(t.value for t in analysis.leak_types),
+        "leak_events": len(analysis.leaks),
+        "plaintext_leak_types": plaintext_types,
+        "leak_domains": sorted(analysis.leak_domains),
+        "aa_domains": sorted(analysis.aa_domains),
+        "aa_flows": analysis.aa_flows,
+        "aa_bytes": analysis.aa_bytes,
+        "third_party_domains": len(analysis.third_party_domains),
+    }
+
+
+def recommend_payload(
+    study,
+    preferences: PrivacyPreferences,
+    os_name: str,
+    services: Optional[list] = None,
+    etag: str = "",
+) -> dict:
+    """Build the ``POST /v1/recommend`` response payload.
+
+    Exposed at module level so a direct library caller produces the
+    exact structure (and therefore, through :func:`canonical_json`, the
+    exact bytes) the service returns.
+    """
+    recommender = Recommender(study, preferences)
+    if services:
+        results = [study.by_slug(slug) for slug in services]
+    else:
+        results = study.services
+    recommendations = []
+    summary = {"app": 0, "web": 0, "either": 0}
+    for result in results:
+        recommendation = recommender.recommend_service(result, os_name)
+        if recommendation is None:
+            continue
+        recommendations.append(recommendation.to_dict())
+        summary[recommendation.choice] += 1
+    return {
+        "etag": etag,
+        "os": os_name,
+        "recommendations": recommendations,
+        "summary": summary,
+    }
+
+
+class ServeApp:
+    """Routes requests over one :class:`ResultStore`."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        cache: Optional[LruTtlCache] = None,
+        limiter: Optional[RateLimiter] = None,
+        registry: Optional[Registry] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.store = store
+        self.cache = cache if cache is not None else LruTtlCache()
+        self.limiter = limiter  # None = rate limiting disabled
+        self.registry = registry if registry is not None else Registry()
+        self._clock = clock
+        self._started_at = clock()
+        #: Test/ops hook: artificial per-request latency (seconds) the
+        #: asyncio server awaits before dispatch — lets drain and
+        #: timeout behavior be exercised deterministically.
+        self.handler_delay = 0.0
+
+        reg = self.registry
+        self.requests_total = reg.counter(
+            "repro_serve_requests_total", "Requests handled", ("route", "status")
+        )
+        self.request_seconds = reg.histogram(
+            "repro_serve_request_seconds", "Request latency by route", ("route",)
+        )
+        self.cache_hits_total = reg.counter(
+            "repro_serve_cache_hits_total", "Recommendation cache hits"
+        )
+        self.cache_misses_total = reg.counter(
+            "repro_serve_cache_misses_total", "Recommendation cache misses"
+        )
+        self.ratelimit_dropped_total = reg.counter(
+            "repro_serve_ratelimit_dropped_total", "Requests rejected with 429"
+        )
+        self.inflight = reg.gauge(
+            "repro_serve_inflight_requests", "Requests currently being served"
+        )
+        self.cache_size = reg.gauge(
+            "repro_serve_cache_entries", "Live recommendation cache entries"
+        )
+        self.store_version = reg.gauge(
+            "repro_serve_store_version", "Result store snapshot version"
+        )
+        self.store_reloads = reg.gauge(
+            "repro_serve_store_reloads_total", "Successful store hot reloads"
+        )
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        response = self._route(request)
+        self.requests_total.inc(labels=(response.route, str(response.status)))
+        return response
+
+    def _route(self, request: Request) -> Response:
+        path = request.path.split("?", 1)[0]
+        if path == "/healthz":
+            return self._only(request, "GET", "/healthz", self._handle_healthz)
+        if path == "/metrics":
+            return self._only(request, "GET", "/metrics", self._handle_metrics)
+        if path == "/v1/services":
+            return self._api(request, "GET", "/v1/services", self._handle_services)
+        if path.startswith("/v1/services/"):
+            slug = path[len("/v1/services/") :]
+            return self._api(
+                request,
+                "GET",
+                "/v1/services/{name}",
+                lambda req, snap: self._handle_service_detail(req, snap, slug),
+            )
+        if path == "/v1/recommend":
+            return self._api(request, "POST", "/v1/recommend", self._handle_recommend)
+        return error_response(404, f"no route for {path}", "other")
+
+    def _only(self, request: Request, method: str, route: str, handler) -> Response:
+        if request.method != method:
+            return error_response(
+                405, f"{route} supports {method} only", route, {"Allow": method}
+            )
+        return handler(request)
+
+    def _api(self, request: Request, method: str, route: str, handler) -> Response:
+        """Common API path: method check, hot reload, rate limit, ETag."""
+        if request.method != method:
+            return error_response(
+                405, f"{route} supports {method} only", route, {"Allow": method}
+            )
+        if self.limiter is not None and not self.limiter.allow(request.client_id):
+            self.ratelimit_dropped_total.inc()
+            retry_after = max(1, round(self.limiter.retry_after(request.client_id)))
+            return error_response(
+                429, "rate limit exceeded", route, {"Retry-After": str(retry_after)}
+            )
+        snapshot = self.store.maybe_reload()
+        etag = f'"{snapshot.etag}"'
+        if method == "GET":
+            if_none_match = request.headers.get("if-none-match", "")
+            if etag in {tag.strip() for tag in if_none_match.split(",")}:
+                response = Response(status=304, route=route, headers={"ETag": etag})
+                return response
+        response = handler(request, snapshot)
+        response.headers.setdefault("ETag", etag)
+        return response
+
+    # -- handlers ----------------------------------------------------------
+
+    def _handle_healthz(self, request: Request) -> Response:
+        snapshot = self.store.maybe_reload()
+        payload = {
+            "status": "ok",
+            "etag": snapshot.etag,
+            "source": snapshot.source,
+            "store_version": snapshot.version,
+            "services": snapshot.service_count,
+            "uptime_seconds": round(self._clock() - self._started_at, 3),
+        }
+        return json_response(200, payload, "/healthz", {"ETag": f'"{snapshot.etag}"'})
+
+    def _handle_metrics(self, request: Request) -> Response:
+        # Pull-style gauges are refreshed at scrape time.
+        self.cache_size.set(len(self.cache))
+        self.store_version.set(self.store.snapshot.version)
+        self.store_reloads.set(self.store.reloads)
+        cache_stats = self.cache.stats()
+        self.cache_hits_total_sync(cache_stats)
+        return Response(
+            status=200,
+            body=self.registry.render().encode("utf-8"),
+            content_type=METRICS_TYPE,
+            route="/metrics",
+        )
+
+    def cache_hits_total_sync(self, cache_stats: dict) -> None:
+        """Mirror the cache's own counters into the exposition.
+
+        The cache counts internally (it is also used without an app, by
+        unit tests and the CLI); the exposition shows the cache's totals
+        rather than double-counting on the request path.
+        """
+        current_hits = self.cache_hits_total.value()
+        current_misses = self.cache_misses_total.value()
+        self.cache_hits_total.inc(cache_stats["hits"] - current_hits)
+        self.cache_misses_total.inc(cache_stats["misses"] - current_misses)
+
+    def _handle_services(self, request: Request, snapshot: StoreSnapshot) -> Response:
+        services = []
+        for result in snapshot.study.services:
+            spec = result.spec
+            services.append(
+                {
+                    "service": spec.slug,
+                    "name": spec.name,
+                    "category": spec.category,
+                    "rank": spec.rank,
+                    "oses": sorted({os_name for os_name, _ in result.sessions}),
+                    "leaks_via_app": result.leaked_via("app"),
+                    "leaks_via_web": result.leaked_via("web"),
+                }
+            )
+        payload = {"etag": snapshot.etag, "services": services}
+        return json_response(200, payload, "/v1/services")
+
+    def _handle_service_detail(
+        self, request: Request, snapshot: StoreSnapshot, slug: str
+    ) -> Response:
+        route = "/v1/services/{name}"
+        try:
+            result = snapshot.study.by_slug(slug)
+        except KeyError:
+            return error_response(404, f"unknown service {slug!r}", route)
+        cells = {
+            f"{os_name}/{medium}": _summarize_cell(analysis)
+            for (os_name, medium), analysis in sorted(result.sessions.items())
+        }
+        payload = {
+            "etag": snapshot.etag,
+            "service": result.spec.slug,
+            "name": result.spec.name,
+            "category": result.spec.category,
+            "rank": result.spec.rank,
+            "cells": cells,
+        }
+        return json_response(200, payload, route)
+
+    def _handle_recommend(self, request: Request, snapshot: StoreSnapshot) -> Response:
+        route = "/v1/recommend"
+        if len(request.body) > MAX_BODY_BYTES:
+            return error_response(413, "request body too large", route)
+        try:
+            data = json.loads(request.body.decode("utf-8")) if request.body.strip() else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return error_response(400, f"invalid JSON body: {exc}", route)
+        if not isinstance(data, dict):
+            return error_response(400, "body must be a JSON object", route)
+        unknown = sorted(set(data) - {"os", "services", "preferences"})
+        if unknown:
+            return error_response(400, f"unknown field(s): {', '.join(unknown)}", route)
+
+        os_name = data.get("os", "android")
+        if os_name not in OSES:
+            return error_response(
+                400, f"unknown os {os_name!r} (valid: {', '.join(OSES)})", route
+            )
+        services = data.get("services")
+        if services is not None:
+            if not isinstance(services, list) or not all(
+                isinstance(s, str) for s in services
+            ):
+                return error_response(400, "'services' must be a list of slugs", route)
+            known = {result.spec.slug for result in snapshot.study.services}
+            missing = sorted(set(services) - known)
+            if missing:
+                return error_response(
+                    400, f"unknown service(s): {', '.join(missing)}", route
+                )
+        try:
+            preferences = preferences_from_dict(data.get("preferences") or {})
+        except ValueError as exc:
+            return error_response(400, str(exc), route)
+
+        cache_key = (
+            snapshot.etag,
+            os_name,
+            tuple(services) if services else None,
+            preferences_key(preferences),
+        )
+        body = self.cache.get(cache_key)
+        cache_state = "hit"
+        if body is None:
+            cache_state = "miss"
+            payload = recommend_payload(
+                snapshot.study, preferences, os_name, services, etag=snapshot.etag
+            )
+            body = canonical_json(payload) + b"\n"
+            self.cache.put(cache_key, body)
+        return Response(
+            status=200,
+            body=body,
+            route=route,
+            headers={"X-Cache": cache_state},
+        )

@@ -1,0 +1,93 @@
+"""Preference-keyed LRU+TTL cache for recommendation responses.
+
+Scoring a study is pure: the same (study ETag, OS, preference weights,
+service filter) always produces the same response bytes, so the serving
+layer caches the *serialized body* and a warm hit is one dict lookup —
+no scoring, no JSON encoding.  The study ETag inside the key makes the
+whole cache self-invalidating across store reloads without a flush.
+
+Bounded two ways, as a shared-fate cache in a long-lived server must be:
+LRU eviction caps memory, and a per-entry TTL caps how long a popular
+key can pin pre-reload bytes that nothing will ever invalidate by key
+(e.g. after the preference vocabulary itself changes).  Hit/miss/
+eviction/expiry counts are kept for the ``/metrics`` exposition.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+DEFAULT_MAXSIZE = 4096
+DEFAULT_TTL = 300.0
+
+
+class LruTtlCache:
+    """Thread-safe LRU with per-entry TTL and hit/miss accounting."""
+
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_MAXSIZE,
+        ttl: float = DEFAULT_TTL,
+        clock=time.monotonic,
+    ) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        if ttl <= 0:
+            raise ValueError("ttl must be > 0")
+        self.maxsize = maxsize
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict = OrderedDict()  # key -> (expires_at, value)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key):
+        """The cached value, or ``None`` on miss/expiry (which counts a miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            expires_at, value = entry
+            if self._clock() >= expires_at:
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (self._clock() + self.ttl, value)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "ttl": self.ttl,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+            }

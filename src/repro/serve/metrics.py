@@ -1,0 +1,216 @@
+"""Minimal Prometheus text-exposition metrics (dependency-free).
+
+Implements the three instrument kinds the serving layer needs —
+counters, gauges, and fixed-bucket histograms, all with optional labels
+— and renders them in the Prometheus text format (version 0.0.4) that
+every scraper speaks.  One :class:`Registry` per server; instruments are
+created up front and updated lock-protected on the hot path (a dict
+lookup and a float add — cheap enough to sit on every request).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Optional
+
+#: Latency buckets (seconds) tuned for a local in-memory service: the
+#: warm-cache path sits well under 1 ms, the cold scoring path in the
+#: single-digit milliseconds, and the tail buckets catch stalls.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labelnames: tuple, labelvalues: tuple) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + pairs + "}"
+
+
+def _escape(value) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: tuple = ()) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._values: dict = {}  # labelvalues tuple -> float
+
+    def _key(self, labelvalues: tuple) -> tuple:
+        if len(labelvalues) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, got {labelvalues}"
+            )
+        return tuple(str(v) for v in labelvalues)
+
+    def render(self) -> list:
+        lines = [f"# HELP {self.name} {self.help_text}", f"# TYPE {self.name} {self.kind}"]
+        with self._lock:
+            for labelvalues in sorted(self._values):
+                label_text = _format_labels(self.labelnames, labelvalues)
+                lines.append(
+                    f"{self.name}{label_text} {_format_value(self._values[labelvalues])}"
+                )
+        return lines
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, labels: tuple = ()) -> None:
+        key = self._key(tuple(labels))
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, labels: tuple = ()) -> float:
+        with self._lock:
+            return self._values.get(self._key(tuple(labels)), 0.0)
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def set(self, value: float, labels: tuple = ()) -> None:
+        key = self._key(tuple(labels))
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, labels: tuple = ()) -> None:
+        key = self._key(tuple(labels))
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, labels: tuple = ()) -> None:
+        self.inc(-amount, labels)
+
+    def value(self, labels: tuple = ()) -> float:
+        with self._lock:
+            return self._values.get(self._key(tuple(labels)), 0.0)
+
+
+class Histogram(_Metric):
+    """Cumulative fixed-bucket histogram (`*_bucket`/`*_sum`/`*_count`)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: tuple = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket")
+        # labelvalues -> [per-bucket counts..., +Inf count, sum]
+        self._series: dict = {}
+
+    def observe(self, value: float, labels: tuple = ()) -> None:
+        key = self._key(tuple(labels))
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = [0] * (len(self.buckets) + 1) + [0.0]
+                self._series[key] = series
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series[i] += 1
+                    break
+            else:
+                series[len(self.buckets)] += 1
+            series[-1] += value
+
+    def count(self, labels: tuple = ()) -> int:
+        with self._lock:
+            series = self._series.get(self._key(tuple(labels)))
+            return sum(series[:-1]) if series else 0
+
+    def render(self) -> list:
+        lines = [f"# HELP {self.name} {self.help_text}", f"# TYPE {self.name} {self.kind}"]
+        with self._lock:
+            for labelvalues in sorted(self._series):
+                series = self._series[labelvalues]
+                cumulative = 0
+                for i, bound in enumerate(self.buckets):
+                    cumulative += series[i]
+                    label_text = _format_labels(
+                        self.labelnames + ("le",), labelvalues + (_format_value(bound),)
+                    )
+                    lines.append(f"{self.name}_bucket{label_text} {cumulative}")
+                cumulative += series[len(self.buckets)]
+                inf_text = _format_labels(self.labelnames + ("le",), labelvalues + ("+Inf",))
+                lines.append(f"{self.name}_bucket{inf_text} {cumulative}")
+                label_text = _format_labels(self.labelnames, labelvalues)
+                lines.append(f"{self.name}_sum{label_text} {_format_value(series[-1])}")
+                lines.append(f"{self.name}_count{label_text} {cumulative}")
+        return lines
+
+
+class Registry:
+    """Owns every instrument and renders the ``/metrics`` exposition."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValueError(f"metric {metric.name} re-registered with new kind")
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str, labelnames: tuple = ()) -> Counter:
+        return self._register(Counter(name, help_text, labelnames))
+
+    def gauge(self, name: str, help_text: str, labelnames: tuple = ()) -> Gauge:
+        return self._register(Gauge(name, help_text, labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: tuple = (),
+        buckets: Optional[Iterable[float]] = None,
+    ) -> Histogram:
+        return self._register(
+            Histogram(name, help_text, labelnames, buckets or DEFAULT_LATENCY_BUCKETS)
+        )
+
+    def render(self) -> str:
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

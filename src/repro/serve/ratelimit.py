@@ -1,0 +1,87 @@
+"""Per-client token-bucket rate limiting.
+
+Each client (the ``X-Client-Id`` header when present, else the peer
+address) owns one bucket of ``burst`` tokens refilled continuously at
+``rate`` tokens/second; a request spends one token or is rejected with
+429.  Refill is computed lazily from elapsed time on each ``allow``
+call, so an idle limiter costs nothing.
+
+The client table is itself LRU-bounded: an open service sees an
+unbounded universe of client identifiers, and a limiter that grows one
+dict entry per spoofed ID is a memory DoS — evicting the
+least-recently-seen bucket at worst *re-grants* a stale client its
+burst, which is the safe failure direction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+DEFAULT_MAX_CLIENTS = 4096
+
+
+class RateLimiter:
+    """Token buckets keyed by client id."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        max_clients: int = DEFAULT_MAX_CLIENTS,
+        clock=time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0 tokens/second")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.max_clients = max_clients
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: OrderedDict = OrderedDict()  # client -> [tokens, updated_at]
+        self.allowed = 0
+        self.dropped = 0
+
+    def allow(self, client: str) -> bool:
+        """Spend one token for ``client``; ``False`` means reject (429)."""
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = [self.burst, now]
+                self._buckets[client] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            else:
+                tokens, updated_at = bucket
+                bucket[0] = min(self.burst, tokens + (now - updated_at) * self.rate)
+                bucket[1] = now
+                self._buckets.move_to_end(client)
+            if bucket[0] >= 1.0:
+                bucket[0] -= 1.0
+                self.allowed += 1
+                return True
+            self.dropped += 1
+            return False
+
+    def retry_after(self, client: str) -> float:
+        """Seconds until ``client`` earns its next token (for Retry-After)."""
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                return 0.0
+            deficit = 1.0 - bucket[0]
+            return max(0.0, deficit / self.rate)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "clients": len(self._buckets),
+                "rate": self.rate,
+                "burst": self.burst,
+                "allowed": self.allowed,
+                "dropped": self.dropped,
+            }

@@ -1,0 +1,243 @@
+"""Versioned study store: the serving layer's source of truth.
+
+A :class:`ResultStore` owns one result directory and keeps the fully
+analyzed :class:`~repro.core.pipeline.StudyResult` built from it in
+memory.  Two on-disk formats are accepted, matching the two ways this
+codebase persists a campaign:
+
+- a **dataset directory** written by ``Dataset.save`` (``repro collect``)
+  — detected by its ``manifest.json``;
+- a **streaming checkpoint directory** written by ``repro stream
+  --checkpoint-dir`` — detected by its ``journal.jsonl``, whose events
+  are folded back into a dataset without touching the journal (a serving
+  process must never mutate a capture artifact).
+
+Every load produces an immutable :class:`StoreSnapshot` carrying the
+study plus a content-derived ETag; handlers read ``store.snapshot`` once
+per request, so a concurrent reload can never hand a request half of an
+old study and half of a new one.  Hot reload rides on the repo-wide
+atomic-write discipline: writers replace ``manifest.json`` /
+``journal.jsonl`` via :func:`repro.ioutil.atomic_write_text`, so a
+changed :func:`repro.ioutil.file_fingerprint` always means a complete
+new artifact is on disk, and :meth:`ResultStore.maybe_reload` swaps the
+snapshot in one reference assignment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.pipeline import StudyResult, analyze_dataset
+from ..experiment.dataset import Dataset, SessionRecord
+from ..ioutil import file_fingerprint
+from ..net.trace import SessionMeta, Trace
+from ..services.catalog import build_catalog
+from ..stream.bus import FLOW, SESSION_END, SESSION_START, event_from_dict
+from ..stream.checkpoint import JOURNAL_NAME
+
+MANIFEST_NAME = "manifest.json"
+
+#: Store source kinds (what :attr:`StoreSnapshot.source` reports).
+SOURCE_DATASET = "dataset"
+SOURCE_JOURNAL = "journal"
+
+
+class StoreError(Exception):
+    """Raised when a result directory is missing, malformed, or unknown."""
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """One immutable, fully analyzed view of the result directory."""
+
+    study: StudyResult
+    etag: str
+    version: int  # monotonically increasing per reload
+    source: str  # SOURCE_DATASET | SOURCE_JOURNAL
+    fingerprint: tuple  # file_fingerprint of the source artifact
+    loaded_at: float
+
+    @property
+    def service_count(self) -> int:
+        return len(self.study.services)
+
+
+def _read_journal_events(path: Path):
+    """Yield journaled events read-only (tolerating a torn final line)."""
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn tail from a crash mid-append
+            yield event_from_dict(data)
+
+
+def dataset_from_journal(path: Union[str, Path]) -> Dataset:
+    """Fold a streaming flow journal back into a :class:`Dataset`.
+
+    The journal records the exact capture stream (session_start with
+    ground truth, flows in capture order, session_end), so the rebuilt
+    dataset analyzes identically to the one the stream was fed from.
+    Sessions missing their ``session_end`` (killed mid-capture) are
+    dropped — a checkpointed resume would re-stream them anyway.
+    """
+    path = Path(path)
+    dataset = Dataset()
+    key: Optional[tuple] = None
+    meta: Optional[SessionMeta] = None
+    ground_truth: dict = {}
+    flows: list = []
+    for event in _read_journal_events(path):
+        if event.kind == SESSION_START:
+            key = event.session
+            meta = event.meta
+            ground_truth = event.ground_truth or {}
+            flows = []
+        elif event.kind == SESSION_END and key is not None:
+            service, os_name, medium = key
+            trace_meta = meta or SessionMeta(service=service, os_name=os_name, medium=medium)
+            dataset.add(
+                SessionRecord(
+                    service=service,
+                    os_name=os_name,
+                    medium=medium,
+                    trace=Trace(meta=trace_meta, flows=flows),
+                    ground_truth=ground_truth,
+                    duration=trace_meta.duration,
+                )
+            )
+            key = None
+        elif event.kind == FLOW and key is not None:
+            flows.append(event.flow)
+    return dataset
+
+
+def _content_etag(path: Path) -> str:
+    """Strong ETag from the source artifact's bytes.
+
+    Content-derived (not mtime-derived) so that re-saving identical
+    results keeps client caches valid across a reload.
+    """
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()[:16]
+
+
+class ResultStore:
+    """Loads, versions, and hot-reloads one result directory."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        services: Optional[list] = None,
+        train_recon: bool = False,
+        workers: int = 1,
+        check_interval: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.directory = Path(directory)
+        self._services = services
+        self._train_recon = train_recon
+        self._workers = workers
+        self.check_interval = check_interval
+        self._clock = clock
+        self._reload_lock = threading.Lock()
+        self._version = 0
+        self._last_check = float("-inf")
+        self.reloads = 0  # successful swaps after the initial load
+        self._snapshot = self._build()
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def snapshot(self) -> StoreSnapshot:
+        """The current snapshot (grab once per request)."""
+        return self._snapshot
+
+    # -- loading -----------------------------------------------------------
+
+    def _source(self) -> tuple:
+        manifest = self.directory / MANIFEST_NAME
+        if manifest.exists():
+            return SOURCE_DATASET, manifest
+        journal = self.directory / JOURNAL_NAME
+        if journal.exists():
+            return SOURCE_JOURNAL, journal
+        raise StoreError(
+            f"{self.directory} holds neither a dataset ({MANIFEST_NAME}) "
+            f"nor a streaming checkpoint ({JOURNAL_NAME})"
+        )
+
+    def _specs_for(self, dataset: Dataset) -> list:
+        slugs = set(dataset.services())
+        pool = self._services if self._services is not None else build_catalog()
+        specs = [spec for spec in pool if spec.slug in slugs]
+        missing = sorted(slugs - {spec.slug for spec in specs})
+        if missing:
+            raise StoreError(
+                f"result directory references unknown service(s): {', '.join(missing)}"
+            )
+        return specs
+
+    def _build(self) -> StoreSnapshot:
+        source, path = self._source()
+        fingerprint = file_fingerprint(path)
+        if source == SOURCE_DATASET:
+            dataset = Dataset.load(self.directory)
+        else:
+            dataset = dataset_from_journal(path)
+        if len(dataset) == 0:
+            raise StoreError(f"{path} contains no complete sessions")
+        specs = self._specs_for(dataset)
+        study = analyze_dataset(
+            dataset, specs, train_recon=self._train_recon, workers=self._workers
+        )
+        self._version += 1
+        return StoreSnapshot(
+            study=study,
+            etag=_content_etag(path),
+            version=self._version,
+            source=source,
+            fingerprint=fingerprint,
+            loaded_at=self._clock(),
+        )
+
+    def reload(self) -> StoreSnapshot:
+        """Rebuild from disk and atomically swap the snapshot in."""
+        with self._reload_lock:
+            snapshot = self._build()
+            self._snapshot = snapshot  # single reference swap: readers see old xor new
+            self.reloads += 1
+            return snapshot
+
+    def maybe_reload(self) -> StoreSnapshot:
+        """Reload iff the source artifact changed; rate-limited by stat.
+
+        Called on the request path: the common case is one ``os.stat``
+        every ``check_interval`` seconds, nothing else.  A reload that
+        fails (e.g. the directory is mid-rewrite on a non-atomic writer)
+        keeps serving the previous snapshot.
+        """
+        now = self._clock()
+        if now - self._last_check < self.check_interval:
+            return self._snapshot
+        self._last_check = now
+        try:
+            _, path = self._source()
+            if file_fingerprint(path) == self._snapshot.fingerprint:
+                return self._snapshot
+            return self.reload()
+        except (StoreError, OSError, json.JSONDecodeError, KeyError, ValueError):
+            return self._snapshot

@@ -36,6 +36,13 @@ class TestExamples:
         assert "8/8 sessions identical to the streaming result" in out
         assert "8/8 sessions identical to batch" in out
 
+    def test_recommender_service(self):
+        out = run_example("recommender_service.py")
+        assert "serving 3 services from a dataset" in out
+        assert "location-sensitive user" in out
+        assert "served from cache" in out
+        assert "server drained cleanly" in out
+
     def test_password_leak_audit(self):
         out = run_example("password_leak_audit.py")
         assert "taplytics" in out
