@@ -5,7 +5,12 @@ PYTHONPATH := src
 RESULT ?= demo-study
 PORT ?= 8080
 
-.PHONY: test bench bench-all bench-check bench-stream bench-serve serve clean
+# `make fuzz` knobs.
+FUZZ_SEED ?= 0
+FUZZ_ROUNDS ?= 25
+
+.PHONY: test bench bench-all bench-check bench-stream bench-serve bench-qa \
+	fuzz fuzz-smoke serve clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -33,6 +38,25 @@ bench-serve:
 	$(PYTHON) benchmarks/check_regression.py BENCH_serve.json \
 		--baseline benchmarks/BENCH_serve.json
 
+# Fuzzing-harness throughput (scenario generation + oracle scenarios/sec).
+bench-qa:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/test_bench_qa.py --benchmark-only \
+		--benchmark-json=BENCH_qa.json -q
+	$(PYTHON) benchmarks/check_regression.py BENCH_qa.json \
+		--baseline benchmarks/BENCH_qa.json
+
+# Differential fuzzing with fault injection.  Every seed collects one
+# randomized world and requires batch == stream == serve byte-for-byte,
+# under injected crashes, torn journal tails, and transport faults.
+fuzz:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fuzz \
+		--seed $(FUZZ_SEED) --rounds $(FUZZ_ROUNDS) --faults
+
+# The fixed 20-seed corpus CI runs on every push (faults on, < 2 min).
+fuzz-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro fuzz --seed 0 --rounds 20 --faults
+
 # Serve the recommender API over a demo study (collects the 3-service
 # subset on first use; override RESULT= to serve your own results).
 serve:
@@ -53,5 +77,6 @@ bench-check: bench
 	$(PYTHON) benchmarks/check_regression.py BENCH_pipeline.json
 
 clean:
-	rm -f BENCH_pipeline.json BENCH_all.json BENCH_stream.json BENCH_serve.json
+	rm -f BENCH_pipeline.json BENCH_all.json BENCH_stream.json BENCH_serve.json \
+		BENCH_qa.json repro-fail-*.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,57 @@
+"""Fuzzing-harness benchmarks: scenario generation and oracle throughput.
+
+The fuzzer's value scales with how many seeds it can burn through, so
+both halves are measured: the pure generator (scenario construction is
+all hashing + RNG, no I/O) and the full differential oracle (collect a
+world once, push it through every execution path).  Scenarios/sec for
+each lands in ``extra_info`` and is recorded into ``BENCH_qa.json`` by
+``make bench-qa``, guarded by ``check_regression.py``.
+"""
+
+import time
+
+from repro.qa.oracle import run_oracle
+from repro.qa.scenarios import generate_scenario
+
+GENERATOR_BATCH = 50
+ORACLE_SEEDS = (3, 4)
+
+
+def test_bench_qa_generator(benchmark):
+    """Scenarios/sec for the seeded generator (faults on)."""
+    timings = []
+
+    def run():
+        started = time.perf_counter()
+        scenarios = [
+            generate_scenario(seed, faults=True) for seed in range(GENERATOR_BATCH)
+        ]
+        timings.append(time.perf_counter() - started)
+        return scenarios
+
+    scenarios = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(scenarios) == GENERATOR_BATCH
+    rate = GENERATOR_BATCH / min(timings)
+    benchmark.extra_info["scenarios_per_sec"] = round(rate, 1)
+    print(f"\n  generated {GENERATOR_BATCH} scenarios at {rate:,.0f} scenarios/s")
+
+
+def test_bench_qa_oracle(benchmark):
+    """Scenarios/sec through the full differential oracle (no faults)."""
+    timings = []
+
+    def run():
+        started = time.perf_counter()
+        reports = [
+            run_oracle(generate_scenario(seed, max_services=2))
+            for seed in ORACLE_SEEDS
+        ]
+        timings.append(time.perf_counter() - started)
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert all(report.ok for report in reports)
+    rate = len(ORACLE_SEEDS) / min(timings)
+    benchmark.extra_info["scenarios_per_sec"] = round(rate, 3)
+    benchmark.extra_info["paths_per_scenario"] = reports[0].stats["paths"]
+    print(f"\n  oracled {len(ORACLE_SEEDS)} scenarios at {rate:.2f} scenarios/s")

@@ -318,6 +318,84 @@ def cmd_reach(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing: batch ≡ stream ≡ serve, under chaos."""
+    import json
+    import time
+
+    from .qa.oracle import Divergence, OracleReport, run_oracle
+    from .qa.scenarios import Scenario, generate_scenario
+    from .qa.shrink import shrink, write_reproducer
+
+    def run_safely(scenario) -> OracleReport:
+        try:
+            return run_oracle(scenario)
+        except Exception as exc:
+            return OracleReport(
+                seed=scenario.seed,
+                ok=False,
+                divergences=[Divergence("crash", type(exc).__name__, "no exception", repr(exc)[:200])],
+            )
+
+    def describe(report: OracleReport) -> str:
+        stats = report.stats
+        return (
+            f"{stats.get('sessions', 0)} sessions, {stats.get('flows', 0)} flows, "
+            f"{stats.get('paths', 0)} paths, {stats.get('matcher_probes', 0)} matcher + "
+            f"{stats.get('filter_probes', 0)} filter probes, "
+            f"{stats.get('fault_checks', 0)} fault checks"
+        )
+
+    if args.replay:
+        try:
+            with open(args.replay, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read reproducer {args.replay!r}: {exc}")
+        scenario = Scenario.from_dict(data.get("scenario", data))
+        report = run_safely(scenario)
+        if report.ok:
+            print(f"replay seed {scenario.seed}: OK ({describe(report)})")
+            return 0
+        div = report.divergences[0]
+        print(
+            f"replay seed {scenario.seed}: FAIL {div.component} at {div.path}: "
+            f"expected {div.expected}, got {div.actual}"
+        )
+        return 1
+
+    started = time.perf_counter()
+    completed = 0
+    for seed in range(args.seed, args.seed + args.rounds):
+        scenario = generate_scenario(seed, faults=args.faults, max_services=args.max_services)
+        report = run_safely(scenario)
+        completed += 1
+        if report.ok:
+            print(f"seed {seed}: OK ({describe(report)})")
+            continue
+        div = report.divergences[0]
+        print(
+            f"seed {seed}: FAIL [{len(report.divergences)} divergence(s)] "
+            f"{div.component} at {div.path}: expected {div.expected}, got {div.actual}"
+        )
+        if args.no_shrink:
+            smallest = scenario
+        else:
+            print("shrinking...")
+            smallest = shrink(
+                scenario, lambda candidate: not run_safely(candidate).ok, max_steps=args.shrink_steps
+            )
+        out = args.out or f"repro-fail-{seed}.json"
+        write_reproducer(smallest, report, out)
+        print(f"reproducer written to {out}; replay with: repro fuzz --replay {out}")
+        elapsed = time.perf_counter() - started
+        print(f"{completed} scenario(s) in {elapsed:.1f}s ({completed / elapsed:.2f}/s)")
+        return 1
+    elapsed = time.perf_counter() - started
+    print(f"{completed} scenario(s) in {elapsed:.1f}s ({completed / elapsed:.2f}/s), 0 divergences")
+    return 0
+
+
 def cmd_catalog(args) -> int:
     for spec in build_catalog():
         oses = "/".join(spec.oses)
@@ -479,6 +557,39 @@ def build_parser() -> argparse.ArgumentParser:
     reach_parser = sub.add_parser("reach", help="cross-platform tracker reach (§4.2)")
     _add_common(reach_parser)
     reach_parser.set_defaults(func=cmd_reach)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="differential fuzzing: batch ≡ stream ≡ serve under chaos"
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0, help="first scenario seed")
+    fuzz_parser.add_argument(
+        "--rounds", type=int, default=1, help="number of consecutive seeds to run"
+    )
+    fuzz_parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="also derive a fault plan per seed (kills, torn tails, transport chaos, "
+        "exploding addons, serve snapshot checks)",
+    )
+    fuzz_parser.add_argument(
+        "--replay", metavar="FILE.json", help="re-run a written reproducer instead"
+    )
+    fuzz_parser.add_argument(
+        "--out", help="reproducer path on failure (default: repro-fail-<seed>.json)"
+    )
+    fuzz_parser.add_argument(
+        "--max-services", type=int, default=4, help="service-catalog size cap per scenario"
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink", action="store_true", help="skip minimization on failure"
+    )
+    fuzz_parser.add_argument(
+        "--shrink-steps",
+        type=int,
+        default=40,
+        help="max oracle evaluations spent shrinking a failure",
+    )
+    fuzz_parser.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -144,3 +144,74 @@ class DirectTransport:
         if not self._network.knows(host):
             raise NetworkError(f"no route to host {host!r}")
         return DirectConnection(self._network, host.lower())
+
+
+class TransportFault(NetworkError):
+    """A deterministic, injected network failure (refusal/truncation/stall)."""
+
+
+FAULT_REFUSE = "refuse"  # connect() fails outright
+FAULT_TRUNCATE = "truncate"  # request is delivered; the response never arrives
+FAULT_STALL = "stall"  # the connection hangs for stall_seconds, then serves
+
+FAULT_KINDS = (FAULT_REFUSE, FAULT_TRUNCATE, FAULT_STALL)
+
+
+class FaultInjectingConnection:
+    """Wraps a connection to truncate or stall its exchanges."""
+
+    def __init__(self, inner: Connection, kind: str, clock=None, stall_seconds: float = 30.0) -> None:
+        self._inner = inner
+        self._kind = kind
+        self._clock = clock
+        self._stall_seconds = stall_seconds
+
+    def send(self, request: Request) -> Response:
+        if self._kind == FAULT_STALL and self._clock is not None:
+            self._clock.advance(self._stall_seconds)
+        response = self._inner.send(request)
+        if self._kind == FAULT_TRUNCATE:
+            # The server processed the request (any proxy in the inner
+            # transport recorded it), but the client never sees the
+            # response — a mid-stream connection reset.
+            raise TransportFault(f"connection truncated mid-response ({request.host})")
+        return response
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class FaultInjectingTransport:
+    """Deterministic chaos layer over any :class:`Transport`.
+
+    ``plan`` maps connection ordinals to fault kinds.  Ordinals count
+    every ``connect()`` issued through this wrapper; pass a shared
+    ``counter`` list when one logical plan spans several wrapper
+    instances (e.g. the per-capture transports a phone hands out), so
+    the ordinal sequence stays global and reproducible.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        plan: dict,
+        clock=None,
+        stall_seconds: float = 30.0,
+        counter: Optional[list] = None,
+    ) -> None:
+        self._inner = inner
+        self._plan = dict(plan)
+        self._clock = clock
+        self._stall_seconds = stall_seconds
+        self._counter = counter if counter is not None else [0]
+
+    def connect(self, host: str, port: int, scheme: str, enforce_pins: bool = False) -> Connection:
+        ordinal = self._counter[0]
+        self._counter[0] += 1
+        kind = self._plan.get(ordinal)
+        if kind == FAULT_REFUSE:
+            raise TransportFault(f"connection #{ordinal} to {host!r} refused")
+        connection = self._inner.connect(host, port, scheme, enforce_pins=enforce_pins)
+        if kind is None:
+            return connection
+        return FaultInjectingConnection(connection, kind, self._clock, self._stall_seconds)

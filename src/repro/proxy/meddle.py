@@ -80,6 +80,10 @@ class InterceptionProxy:
         self.ca_issuer = PROXY_CA
         self.passthrough_hosts: set = set()
         self.addons: list = []
+        # Addon callbacks that raise are isolated (mitmproxy semantics:
+        # a broken addon logs an error, it does not kill the proxy).
+        # Each entry is (event, callback qualname, repr(exception)).
+        self.addon_errors: list = []
         self._callbacks: dict = {}  # event name -> [bound callbacks]
         self._trace: Optional[Trace] = None
         self._next_flow_id = 0
@@ -142,9 +146,16 @@ class InterceptionProxy:
                 if callback is not None:
                     self._callbacks.setdefault(event, []).append(callback)
 
+    _MAX_ADDON_ERRORS = 1000
+
     def _emit(self, event: str, *args) -> None:
         for callback in self._callbacks.get(event, ()):
-            callback(*args)
+            try:
+                callback(*args)
+            except Exception as exc:
+                if len(self.addon_errors) < self._MAX_ADDON_ERRORS:
+                    name = getattr(callback, "__qualname__", repr(callback))
+                    self.addon_errors.append((event, name, repr(exc)))
 
     # -- transport factory ---------------------------------------------------
 

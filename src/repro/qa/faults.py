@@ -1,0 +1,332 @@
+"""Deterministic fault plans and their recovery invariants.
+
+A :class:`FaultPlan` is derived from the scenario seed, serializes to
+JSON, and drives four chaos checks:
+
+- **Kill + resume** (``kill_events``): abort the sharded streamer after
+  N published events (no final snapshot), optionally tear the journal
+  tail (clean cut, binary garbage, or mid-UTF-8), resume, and require
+  the finalized study to equal the batch reference byte for byte.
+- **Transport chaos** (``transport``): wrap every phone transport in a
+  :class:`~repro.http.transport.FaultInjectingTransport` refusing,
+  truncating, or stalling chosen connection ordinals.  The collected
+  chaos dataset must analyze identically in batch and streaming — the
+  oracle's equivalence must hold on degraded traffic too.
+- **Addon chaos** (``addon_chaos``): register an addon whose callbacks
+  raise.  The capture must complete, produce the *same* dataset as a
+  fault-free run of the same seed, and the proxy must have recorded the
+  addon failures in ``addon_errors`` instead of propagating them.
+- **Serve snapshot** (``serve_check``): point a ``ResultStore`` at a
+  streaming checkpoint, append torn half-written tails to the journal
+  (including a mid-UTF-8 cut), force reloads, and require every served
+  snapshot to stay byte-identical — serve never exposes a torn write.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..core.pipeline import analyze_dataset
+from ..experiment.runner import ExperimentRunner
+from ..http.transport import FAULT_KINDS, FaultInjectingTransport
+from ..serve.store import ResultStore
+from ..services.world import build_world
+from ..stream.analyzer import DatasetStreamer, stream_dataset
+from ..stream.checkpoint import JOURNAL_NAME, FlowJournal
+
+TORN_MODES = ("cut", "garbage", "utf8")
+
+# Torn-tail payloads: a half-written JSON line, raw binary garbage, and
+# a line ending mid-way through a multi-byte UTF-8 character.
+_TORN_PARTIAL_JSON = b'{"seq": 9999999, "kind": "flow", "ses'
+_TORN_GARBAGE = b'{"seq": 9999999, "kind": "flow"\xff\xfe\x00'
+_TORN_UTF8 = '{"seq": 9999999, "note": "caf'.encode("utf-8") + "é".encode("utf-8")[:1]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """JSON-serializable description of one scenario's injected faults."""
+
+    kill_events: tuple = ()
+    torn_tail: str = ""  # "", or one of TORN_MODES
+    torn_bytes: int = 7  # cut size for mode "cut"
+    transport: tuple = ()  # ((connection ordinal, fault kind), ...)
+    stall_seconds: float = 30.0
+    addon_chaos: bool = True
+    addon_every: int = 3
+    serve_check: bool = True
+
+    @classmethod
+    def from_rng(cls, rng) -> "FaultPlan":
+        ordinals = {}
+        for _ in range(rng.randint(1, 4)):
+            ordinals[rng.randrange(0, 60)] = rng.choice(FAULT_KINDS)
+        return cls(
+            kill_events=tuple(sorted(rng.sample(range(3, 300), rng.randint(1, 2)))),
+            torn_tail=rng.choice(("",) + TORN_MODES),
+            torn_bytes=rng.randint(1, 40),
+            transport=tuple(sorted(ordinals.items())),
+            stall_seconds=float(rng.choice((15, 30, 60))),
+            addon_chaos=rng.random() < 0.8,
+            addon_every=rng.randint(2, 5),
+            serve_check=rng.random() < 0.8,
+        )
+
+    def to_dict(self) -> dict:
+        return json.loads(json.dumps(asdict(self)))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            kill_events=tuple(int(n) for n in data.get("kill_events", ())),
+            torn_tail=str(data.get("torn_tail", "")),
+            torn_bytes=int(data.get("torn_bytes", 7)),
+            transport=tuple(
+                (int(ordinal), str(kind)) for ordinal, kind in data.get("transport", ())
+            ),
+            stall_seconds=float(data.get("stall_seconds", 30.0)),
+            addon_chaos=bool(data.get("addon_chaos", True)),
+            addon_every=int(data.get("addon_every", 3)),
+            serve_check=bool(data.get("serve_check", True)),
+        )
+
+
+def tear_journal(path, mode: str, amount: int = 7) -> None:
+    """Corrupt a journal's tail the way a crash would."""
+    path = Path(path)
+    data = path.read_bytes()
+    if mode == "cut":
+        cut = max(1, min(amount, max(1, len(data) - 1)))
+        path.write_bytes(data[:-cut])
+    elif mode == "garbage":
+        path.write_bytes(data + _TORN_GARBAGE)
+    elif mode == "utf8":
+        path.write_bytes(data + _TORN_UTF8)
+    else:
+        raise ValueError(f"unknown torn-tail mode {mode!r}")
+
+
+class ExplodingAddon:
+    """A proxy addon whose callbacks raise every ``every``-th invocation."""
+
+    def __init__(self, every: int = 3) -> None:
+        self.every = max(1, every)
+        self.calls = 0
+
+    def _maybe_explode(self, label: str) -> None:
+        self.calls += 1
+        if self.calls % self.every == 0:
+            raise RuntimeError(f"exploding addon: {label} #{self.calls}")
+
+    def tcp_connect(self, flow) -> None:
+        self._maybe_explode("tcp_connect")
+
+    def request(self, flow, request) -> None:
+        self._maybe_explode("request")
+
+    def response(self, flow, request, response) -> None:
+        self._maybe_explode("response")
+
+    def capture_stop(self, trace) -> None:
+        self._maybe_explode("capture_stop")
+
+
+def _divergence(component, path, expected, actual):
+    from .oracle import Divergence, first_divergent_field
+
+    if isinstance(expected, bytes) and isinstance(actual, bytes):
+        where, want, got = first_divergent_field(expected, actual)
+        return Divergence(component, f"{path}:{where}", want, got)
+    return Divergence(component, path, str(expected), str(actual))
+
+
+def check_kill_resume(scenario, specs, dataset, expected, plan, mutate):
+    """Abort mid-stream (optionally tearing the journal), resume, compare."""
+    from .oracle import canonical_bytes
+
+    out = []
+    for kill in plan.kill_events:
+        with tempfile.TemporaryDirectory(prefix="repro-qa-ckpt-") as tmp:
+            first = DatasetStreamer(
+                dataset, specs, shards=2, checkpoint_dir=tmp, checkpoint_every=16
+            )
+            first.run(limit=kill)
+            first.analyzer.abort()
+            journal_path = Path(tmp) / JOURNAL_NAME
+            if plan.torn_tail:
+                tear_journal(journal_path, plan.torn_tail, plan.torn_bytes)
+                # Recovery must drop the torn tail, leaving only
+                # complete, parseable lines behind.
+                probe = FlowJournal(journal_path, resume=True)
+                probe.close()
+                for line in journal_path.read_bytes().splitlines():
+                    try:
+                        json.loads(line.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                        out.append(
+                            _divergence(
+                                f"kill-resume[{kill}:{plan.torn_tail}]",
+                                "journal line after recovery",
+                                "parseable JSON",
+                                repr(exc),
+                            )
+                        )
+                        break
+            resumed = DatasetStreamer(
+                dataset,
+                specs,
+                shards=2,
+                checkpoint_dir=tmp,
+                checkpoint_every=16,
+                resume=True,
+            )
+            resumed.run()
+            study = mutate("stream", resumed.finalize(train_recon=scenario.train_recon))
+            actual = canonical_bytes(study)
+            if actual != expected:
+                out.append(
+                    _divergence(
+                        f"kill-resume[{kill}:{plan.torn_tail or 'clean'}]",
+                        "study",
+                        expected,
+                        actual,
+                    )
+                )
+    return out
+
+
+def check_transport_chaos(scenario, specs, plan, mutate):
+    """Collect under transport faults; batch and stream must still agree."""
+    from .oracle import canonical_bytes
+
+    world = build_world(specs)
+    runner = ExperimentRunner(world, seed=scenario.study_seed)
+    fault_map = {int(ordinal): kind for ordinal, kind in plan.transport}
+    counter = [0]
+
+    def wrapper(transport):
+        return FaultInjectingTransport(
+            transport,
+            fault_map,
+            clock=world.clock,
+            stall_seconds=plan.stall_seconds,
+            counter=counter,
+        )
+
+    def install_faults(phone):
+        phone.transport_wrapper = wrapper
+
+    chaos_dataset = runner.run_study(
+        specs, duration=scenario.duration, phone_setup=install_faults
+    )
+    batch = analyze_dataset(chaos_dataset, specs, train_recon=False, workers=1)
+    expected = canonical_bytes(batch)
+    streamed = mutate(
+        "stream", stream_dataset(chaos_dataset, specs, shards=2, train_recon=False)
+    )
+    actual = canonical_bytes(streamed)
+    out = []
+    if actual != expected:
+        out.append(_divergence("transport-chaos[stream]", "study", expected, actual))
+    return out, {"transport_faults_hit": sum(1 for o in fault_map if o < counter[0])}
+
+
+def check_addon_chaos(scenario, specs, expected, plan, mutate):
+    """A raising addon must not change results, and must be recorded."""
+    from .oracle import canonical_bytes
+
+    world = build_world(specs)
+    world.proxy.add_addon(ExplodingAddon(every=plan.addon_every))
+    runner = ExperimentRunner(world, seed=scenario.study_seed)
+    dataset = runner.run_study(specs, duration=scenario.duration)
+    study = mutate(
+        "addon",
+        analyze_dataset(dataset, specs, train_recon=scenario.train_recon, workers=1),
+    )
+    out = []
+    actual = canonical_bytes(study)
+    if actual != expected:
+        out.append(_divergence("addon-chaos[study]", "study", expected, actual))
+    if not world.proxy.addon_errors:
+        out.append(
+            _divergence(
+                "addon-chaos[errors]", "proxy.addon_errors", "non-empty", "empty"
+            )
+        )
+    return out, {"addon_errors": len(world.proxy.addon_errors)}
+
+
+def check_serve_snapshot(scenario, specs, dataset, mutate):
+    """Serve must never expose a half-written journal append."""
+    from .oracle import canonical_bytes
+
+    reference = analyze_dataset(dataset, specs, train_recon=False, workers=1)
+    expected = canonical_bytes(reference)
+    out = []
+    with tempfile.TemporaryDirectory(prefix="repro-qa-serve-") as tmp:
+        streamer = DatasetStreamer(dataset, specs, shards=1, checkpoint_dir=tmp)
+        streamer.run()
+        streamer.finalize(train_recon=False)
+        store = ResultStore(tmp, services=specs, train_recon=False, check_interval=0.0)
+
+        def served() -> bytes:
+            return canonical_bytes(mutate("serve", store.snapshot.study))
+
+        if served() != expected:
+            out.append(_divergence("serve[load]", "snapshot", expected, served()))
+
+        journal_path = Path(tmp) / JOURNAL_NAME
+        original = journal_path.read_bytes()
+        for label, tail in (
+            ("torn-append", _TORN_PARTIAL_JSON),
+            ("torn-utf8", _TORN_UTF8),
+        ):
+            with journal_path.open("ab") as handle:
+                handle.write(tail)
+            store.maybe_reload()
+            if served() != expected:
+                out.append(_divergence(f"serve[{label}]", "snapshot", expected, served()))
+            journal_path.write_bytes(original)
+        store.maybe_reload()
+        if served() != expected:
+            out.append(_divergence("serve[restore]", "snapshot", expected, served()))
+    return out
+
+
+def run_fault_checks(scenario, specs, dataset, expected, mutators=None):
+    """Run every check the scenario's fault plan enables."""
+    mutators = dict(mutators or {})
+
+    def mutate(name, value):
+        fn = mutators.get(name)
+        return fn(value) if fn else value
+
+    plan = FaultPlan.from_dict(scenario.fault_plan)
+    divergences = []
+    stats = {"fault_checks": 0}
+
+    divergences.extend(
+        check_kill_resume(scenario, specs, dataset, expected, plan, mutate)
+    )
+    stats["fault_checks"] += len(plan.kill_events)
+
+    if plan.transport:
+        found, chaos_stats = check_transport_chaos(scenario, specs, plan, mutate)
+        divergences.extend(found)
+        stats.update(chaos_stats)
+        stats["fault_checks"] += 1
+
+    if plan.addon_chaos:
+        found, addon_stats = check_addon_chaos(scenario, specs, expected, plan, mutate)
+        divergences.extend(found)
+        stats.update(addon_stats)
+        stats["fault_checks"] += 1
+
+    if plan.serve_check:
+        divergences.extend(check_serve_snapshot(scenario, specs, dataset, mutate))
+        stats["fault_checks"] += 1
+
+    return divergences, stats

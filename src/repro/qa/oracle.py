@@ -1,0 +1,283 @@
+"""Differential oracle: batch ≡ stream ≡ twins, byte for byte.
+
+One scenario is collected exactly once; the resulting dataset is then
+pushed through every execution path the repo offers and each path's
+study is serialized to canonical JSON bytes.  Any byte difference is a
+failure, reported as the first divergent field (recursive structural
+diff), so a fuzz failure points straight at the layer that broke.
+
+Paths compared against the ``workers=1`` batch reference:
+
+- batch with ``workers=N`` (parallel per-session analysis);
+- streaming via :func:`repro.stream.stream_dataset` at each shard count;
+- the fast Aho–Corasick matcher vs ``GroundTruthMatcher(slow=True)``
+  per decrypted transaction and per generated probe text;
+- the indexed EasyList engine vs ``FilterList.match_linear`` over the
+  scenario's URL probes (scenario filters and the bundled list);
+- PSL invariants (idempotence, reflexivity) over generated hostnames.
+
+``mutators`` deliberately corrupt one path's output before comparison —
+the mutation canary tests use this to prove the oracle actually looks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..core.pipeline import analyze_dataset
+from ..experiment.runner import ExperimentRunner
+from ..pii.matcher import GroundTruthMatcher
+from ..services.world import build_world
+from ..stream.analyzer import stream_dataset
+from ..trackerdb.abpfilter import FilterList
+from ..trackerdb.easylist import bundled_easylist
+from ..trackerdb.psl import DomainError, domain_key, registrable_domain, same_party
+from .scenarios import Scenario, scenario_ground_truth
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observed disagreement between two supposedly equal paths."""
+
+    component: str  # which comparison failed, e.g. "stream[shards=2]"
+    path: str  # dotted path of the first divergent field
+    expected: str
+    actual: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one scenario run through every path."""
+
+    seed: int
+    ok: bool
+    divergences: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "divergences": [d.to_dict() for d in self.divergences],
+            "stats": self.stats,
+        }
+
+
+def canonical_bytes(study) -> bytes:
+    """Canonical serialization of a study: sorted keys, stable floats."""
+    payload = {
+        f"{analysis.service}|{analysis.os_name}|{analysis.medium}": analysis.to_dict()
+        for analysis in study.analyses()
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def first_divergent_field(expected: bytes, actual: bytes):
+    """Locate the first structural difference between two JSON payloads.
+
+    Returns ``(dotted_path, expected_repr, actual_repr)``.  Falls back
+    to a whole-document diff marker when either side fails to parse.
+    """
+    try:
+        left = json.loads(expected.decode("utf-8"))
+        right = json.loads(actual.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return ("<document>", repr(expected[:80]), repr(actual[:80]))
+    return _diff(left, right, "$")
+
+
+def _diff(left, right, path):
+    if type(left) is not type(right):
+        return (path, f"{type(left).__name__}:{left!r}"[:200], f"{type(right).__name__}:{right!r}"[:200])
+    if isinstance(left, dict):
+        for key in sorted(set(left) | set(right)):
+            if key not in left:
+                return (f"{path}.{key}", "<missing>", repr(right[key])[:200])
+            if key not in right:
+                return (f"{path}.{key}", repr(left[key])[:200], "<missing>")
+            found = _diff(left[key], right[key], f"{path}.{key}")
+            if found:
+                return found
+        return None
+    if isinstance(left, list):
+        for index in range(max(len(left), len(right))):
+            if index >= len(left):
+                return (f"{path}[{index}]", "<missing>", repr(right[index])[:200])
+            if index >= len(right):
+                return (f"{path}[{index}]", repr(left[index])[:200], "<missing>")
+            found = _diff(left[index], right[index], f"{path}[{index}]")
+            if found:
+                return found
+        return None
+    if left != right:
+        return (path, repr(left)[:200], repr(right)[:200])
+    return None
+
+
+def _match_signature(matches) -> tuple:
+    """Order-independent fingerprint of a matcher result."""
+    return tuple(
+        sorted(
+            (m.pii_type.value, m.value, m.encoding, m.source, getattr(m, "key", ""))
+            for m in matches
+        )
+    )
+
+
+def _identity(value):
+    return value
+
+
+def run_oracle(scenario: Scenario, mutators=None) -> OracleReport:
+    """Run every differential comparison for one scenario."""
+    mutators = dict(mutators or {})
+
+    def mutate(name, value):
+        return mutators.get(name, _identity)(value)
+
+    divergences = []
+    stats = {"paths": 0, "matcher_probes": 0, "filter_probes": 0}
+
+    specs = scenario.build_specs()
+    world = build_world(specs)
+    runner = ExperimentRunner(world, seed=scenario.study_seed)
+    dataset = runner.run_study(specs, duration=scenario.duration)
+    stats["sessions"] = len(dataset)
+    stats["flows"] = dataset.total_flows()
+
+    reference = analyze_dataset(
+        dataset, specs, train_recon=scenario.train_recon, workers=1
+    )
+    expected = canonical_bytes(reference)
+
+    def check_study(component, study, mutator_key):
+        stats["paths"] += 1
+        actual = canonical_bytes(mutate(mutator_key, study))
+        if actual != expected:
+            path, want, got = first_divergent_field(expected, actual)
+            divergences.append(Divergence(component, path, want, got))
+
+    # -- batch parallelism ---------------------------------------------------
+    parallel = analyze_dataset(
+        dataset, specs, train_recon=scenario.train_recon, workers=4
+    )
+    check_study("batch[workers=4]", parallel, "workers")
+
+    # -- streaming, every shard count ---------------------------------------
+    for shards in scenario.shard_counts:
+        streamed = stream_dataset(
+            dataset, specs, shards=shards, train_recon=scenario.train_recon
+        )
+        check_study(f"stream[shards={shards}]", streamed, "stream")
+
+    # -- fast vs slow PII matcher -------------------------------------------
+    for record in sorted(dataset, key=lambda r: r.key):
+        fast = GroundTruthMatcher(record.ground_truth)
+        slow = GroundTruthMatcher(record.ground_truth, slow=True)
+        for flow in record.trace:
+            if not flow.decrypted:
+                continue
+            for txn in flow.transactions:
+                fast_sig = _match_signature(fast.match_request(txn.request))
+                slow_sig = _match_signature(
+                    mutate("matcher", slow.match_request(txn.request))
+                )
+                stats["matcher_probes"] += 1
+                if fast_sig != slow_sig:
+                    divergences.append(
+                        Divergence(
+                            component=f"matcher[{'|'.join(record.key)}]",
+                            path=txn.request.url,
+                            expected=repr(fast_sig)[:200],
+                            actual=repr(slow_sig)[:200],
+                        )
+                    )
+
+    truth = scenario_ground_truth(scenario.seed)
+    fast_text = GroundTruthMatcher(truth)
+    slow_text = GroundTruthMatcher(truth, slow=True)
+    for index, text in enumerate(scenario.texts):
+        fast_sig = _match_signature(fast_text.match_text(text))
+        slow_sig = _match_signature(mutate("matcher", slow_text.match_text(text)))
+        stats["matcher_probes"] += 1
+        if fast_sig != slow_sig:
+            divergences.append(
+                Divergence(
+                    component=f"matcher[text:{index}]",
+                    path=text[:80],
+                    expected=repr(fast_sig)[:200],
+                    actual=repr(slow_sig)[:200],
+                )
+            )
+
+    # -- indexed vs linear EasyList engine ----------------------------------
+    filter_lists = [
+        ("scenario", FilterList.parse("\n".join(scenario.filters))),
+        ("easylist", bundled_easylist()),
+    ]
+    for list_name, filter_list in filter_lists:
+        for url, page_host, resource_type in scenario.urls:
+            indexed = filter_list.match(url, page_host, resource_type)
+            linear = mutate("filters", filter_list.match_linear(url, page_host, resource_type))
+            stats["filter_probes"] += 1
+            indexed_raw = indexed.raw if indexed is not None else None
+            linear_raw = linear.raw if linear is not None else None
+            if indexed_raw != linear_raw:
+                divergences.append(
+                    Divergence(
+                        component=f"filters[{list_name}]",
+                        path=f"{url} page={page_host} type={resource_type}",
+                        expected=repr(indexed_raw),
+                        actual=repr(linear_raw),
+                    )
+                )
+
+    # -- PSL invariants ------------------------------------------------------
+    for host in scenario.hostnames:
+        try:
+            key = domain_key(host)
+            if domain_key(key) != key:
+                divergences.append(
+                    Divergence("psl[idempotent]", host, key, domain_key(key))
+                )
+            if not same_party(host, host):
+                divergences.append(
+                    Divergence("psl[reflexive]", host, "same_party(h, h)", "False")
+                )
+            try:
+                registrable = registrable_domain(host)
+            except DomainError:
+                pass
+            else:
+                if registrable_domain(registrable) != registrable:
+                    divergences.append(
+                        Divergence(
+                            "psl[registrable-idempotent]",
+                            host,
+                            registrable,
+                            registrable_domain(registrable),
+                        )
+                    )
+        except Exception as exc:  # invariants must never raise
+            divergences.append(Divergence("psl[crash]", host, "no exception", repr(exc)))
+
+    # -- fault plan ----------------------------------------------------------
+    if scenario.fault_plan:
+        from .faults import run_fault_checks
+
+        fault_divergences, fault_stats = run_fault_checks(
+            scenario, specs, dataset, expected, mutators
+        )
+        divergences.extend(fault_divergences)
+        stats.update(fault_stats)
+
+    return OracleReport(
+        seed=scenario.seed,
+        ok=not divergences,
+        divergences=divergences,
+        stats=stats,
+    )

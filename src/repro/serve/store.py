@@ -69,15 +69,22 @@ class StoreSnapshot:
 
 
 def _read_journal_events(path: Path):
-    """Yield journaled events read-only (tolerating a torn final line)."""
-    with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
+    """Yield journaled events read-only (tolerating a torn final line).
+
+    Reads bytes: a concurrent writer can be torn mid-way through a
+    multi-byte UTF-8 character, which must end the iteration like any
+    other torn tail rather than raise ``UnicodeDecodeError``.
+    """
+    with path.open("rb") as handle:
+        for raw in handle:
+            if not raw.endswith(b"\n"):
+                break  # torn final write still in progress
+            raw = raw.strip()
+            if not raw:
                 continue
             try:
-                data = json.loads(line)
-            except json.JSONDecodeError:
+                data = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
                 break  # torn tail from a crash mid-append
             yield event_from_dict(data)
 

@@ -59,28 +59,35 @@ class FlowJournal:
             self._handle = self.path.open("w", encoding="utf-8")
 
     def _recover(self) -> None:
-        """Find the last complete line; truncate any torn tail."""
+        """Find the last complete line; truncate any torn tail.
+
+        Scans bytes, not text: a write torn mid-way through a multi-byte
+        UTF-8 character must be dropped like any other torn tail, not
+        explode the reader with ``UnicodeDecodeError``.
+        """
+        data = self.path.read_bytes()
         good_end = 0
-        with self.path.open("r+", encoding="utf-8") as handle:
-            while True:
-                line = handle.readline()
-                if not line:
-                    break
-                if not line.endswith("\n"):
-                    break  # torn final write
-                try:
-                    data = json.loads(line)
-                    self.last_seq = int(data["seq"])
-                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                    break
-                good_end = handle.tell()
-            handle.truncate(good_end)
+        pos = 0
+        while pos < len(data):
+            newline = data.find(b"\n", pos)
+            if newline < 0:
+                break  # torn final write
+            try:
+                decoded = json.loads(data[pos:newline].decode("utf-8"))
+                self.last_seq = int(decoded["seq"])
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+                break
+            pos = newline + 1
+            good_end = pos
+        if good_end != len(data):
+            with self.path.open("r+b") as handle:
+                handle.truncate(good_end)
 
     def append(self, event: StreamEvent) -> None:
         """Write one event; silently skips already-journaled sequences."""
         if event.seq <= self.last_seq:
             return
-        self._handle.write(json.dumps(event_to_dict(event)) + "\n")
+        self._handle.write(json.dumps(event_to_dict(event), ensure_ascii=False) + "\n")
         self._handle.flush()
         self.last_seq = event.seq
 

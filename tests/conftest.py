@@ -27,6 +27,35 @@ def rng():
     return random.Random(42)
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_caches():
+    """Reset module-level memo caches after every test.
+
+    The fast-path engines memoize aggressively (matcher automata,
+    decoded bodies, cookie parses, filter verdicts).  The caches are
+    content-keyed, so they cannot change *results* — but a test that
+    asserts on cache behaviour, or one that monkeypatches something a
+    cached value baked in, must not see another test's entries.
+    """
+    yield
+    from repro.core import pipeline
+    from repro.http import body, cookies
+    from repro.pii import encodings, matcher
+    from repro.services import webtracker
+    from repro.trackerdb import easylist, psl
+
+    matcher._MATCHER_CACHE.clear()
+    pipeline._CATEGORIZER_CACHE.clear()
+    body._DECODE_CACHE.clear()
+    cookies._COOKIE_PARSE_CACHE.clear()
+    webtracker._BLOB_CACHE.clear()
+    encodings._variant_items.cache_clear()
+    psl.same_party.cache_clear()
+    psl.domain_key.cache_clear()
+    if easylist._compiled is not None:
+        easylist._compiled._verdicts.clear()
+
+
 class EchoHandler:
     """Returns a JSON echo of the request; used across transport tests."""
 

@@ -16,8 +16,11 @@ from repro.pii.encodings import encode_value, variants
 from repro.pii.matcher import GroundTruthMatcher
 from repro.pii.types import PiiType
 from repro.proxy.meddle import InterceptionProxy
+from repro.qa.scenarios import random_filter_line, random_hostname, random_url
 from repro.tls.certs import PROXY_CA, CaStore
+from repro.trackerdb.abpfilter import FilterList
 from repro.trackerdb.easylist import bundled_easylist
+from repro.trackerdb.psl import DomainError, domain_key, registrable_domain, same_party
 
 # Values long enough to be searchable and unlikely to collide with
 # beacon boilerplate.
@@ -160,3 +163,45 @@ class TestEasylistProperty:
         for domain in ("doubleclick.net", "amobee.com", "google-analytics.com"):
             url = f"https://{sub}.{domain}/{path}"
             assert compiled.matches(url, page_host="news.example")
+
+
+class TestPslInvariantProperty:
+    """PSL helpers over the fuzzer's adversarial hostname vocabulary
+    (IPs, bare suffixes, trailing dots, mixed case, junk labels)."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1_000_000))
+    def test_psl_total_and_idempotent(self, seed):
+        rng = random.Random(seed)
+        for _ in range(5):
+            host = random_hostname(rng)
+            key = domain_key(host)
+            assert domain_key(key) == key
+            assert same_party(host, host)
+            try:
+                registrable = registrable_domain(host)
+            except DomainError:
+                continue  # rejecting a host is fine; raising anything else is not
+            assert registrable_domain(registrable) == registrable
+
+
+class TestFilterEquivalenceProperty:
+    """The indexed EasyList engine must agree with the reference linear
+    scan on any random filter list and any random URL probe."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1_000_000))
+    def test_indexed_equals_linear(self, seed):
+        rng = random.Random(seed)
+        filters = FilterList.parse(
+            "\n".join(random_filter_line(rng) for _ in range(25))
+        )
+        for _ in range(10):
+            url = random_url(rng)
+            page_host = rng.choice(("news.example", "site.com", ""))
+            resource_type = rng.choice(("script", "image", "xmlhttprequest", ""))
+            indexed = filters.match(url, page_host, resource_type)
+            linear = filters.match_linear(url, page_host, resource_type)
+            assert (indexed.raw if indexed else None) == (
+                linear.raw if linear else None
+            )

@@ -231,6 +231,99 @@ def session_start_event_fixture():
     yield session_end_event(("svc", "android", "app"))
 
 
+def _non_ascii_journal(path):
+    """A closed journal whose lines contain multi-byte UTF-8 values."""
+    from dataclasses import replace
+
+    from repro.net.trace import SessionMeta
+    from repro.pii.types import PiiType
+
+    journal = FlowJournal(path)
+    meta = SessionMeta(service="café", os_name="android", medium="app")
+    events = [
+        session_start_event(meta, {PiiType.NAME: ["Renée Müller", "José"]}),
+        session_end_event(("café", "android", "app")),
+    ]
+    stamped = [replace(event, seq=seq) for seq, event in enumerate(events)]
+    for event in stamped:
+        journal.append(event)
+    journal.close()
+    data = path.read_bytes()
+    assert max(data) > 0x7F, "journal must actually contain multi-byte UTF-8"
+    return stamped, data
+
+
+def test_journal_writes_utf8_not_ascii_escapes(tmp_path):
+    _, data = _non_ascii_journal(tmp_path / "journal.jsonl")
+    assert "Renée".encode("utf-8") in data
+    assert b"\\u00e9" not in data
+
+
+@pytest.mark.parametrize("cut", [1, 2, 3, 5, 9, 17, 33])
+def test_journal_recovers_tail_cut_at_arbitrary_byte(tmp_path, cut):
+    """A crash can truncate anywhere — including inside a UTF-8 char."""
+    path = tmp_path / "journal.jsonl"
+    stamped, data = _non_ascii_journal(path)
+    path.write_bytes(data[: len(data) - cut])
+
+    recovered = FlowJournal(path, resume=True)
+    recovered.close()
+    survivors = list(recovered.events())
+    # Whatever survives must be an intact prefix of the original stream.
+    assert [e.seq for e in survivors] == [e.seq for e in stamped][: len(survivors)]
+    assert recovered.last_seq == (survivors[-1].seq if survivors else -1)
+    for line in path.read_bytes().splitlines():
+        json.loads(line.decode("utf-8"))
+
+
+def test_journal_recovers_tail_cut_mid_utf8_char(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    stamped, data = _non_ascii_journal(path)
+    multibyte_start = max(
+        i for i, byte in enumerate(data) if byte >= 0xC2
+    )
+    path.write_bytes(data[: multibyte_start + 1])  # first byte of the char only
+
+    recovered = FlowJournal(path, resume=True)
+    recovered.close()
+    survivors = list(recovered.events())
+    assert [e.seq for e in survivors] == [e.seq for e in stamped][: len(survivors)]
+
+
+@pytest.mark.parametrize(
+    "tail",
+    [
+        b'{"seq": 99, "kind": "flow", "ses',  # partial JSON, clean UTF-8
+        b'{"seq": 99, "kind": "flow"\xff\xfe\x00',  # binary garbage
+        '{"note": "caf'.encode("utf-8") + "é".encode("utf-8")[:1],  # mid-char
+        b"\xf0\x9f\x92",  # truncated 4-byte emoji, no JSON at all
+    ],
+)
+def test_journal_recovers_torn_tail_variants(tmp_path, tail):
+    path = tmp_path / "journal.jsonl"
+    stamped, _ = _non_ascii_journal(path)
+    with path.open("ab") as handle:
+        handle.write(tail)
+
+    recovered = FlowJournal(path, resume=True)
+    assert recovered.last_seq == stamped[-1].seq
+    assert [e.seq for e in recovered.events()] == [e.seq for e in stamped]
+    recovered.close()
+
+
+def test_serve_journal_reader_tolerates_mid_utf8_tear(tmp_path):
+    """The serving read path must also treat a mid-char tear as torn."""
+    from repro.serve.store import _read_journal_events
+
+    path = tmp_path / "journal.jsonl"
+    stamped, _ = _non_ascii_journal(path)
+    with path.open("ab") as handle:
+        handle.write('{"note": "caf'.encode("utf-8") + "é".encode("utf-8")[:1] + b"\n")
+
+    events = list(_read_journal_events(path))
+    assert [e.seq for e in events] == [e.seq for e in stamped]
+
+
 # -- bus ---------------------------------------------------------------------
 
 
