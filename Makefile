@@ -10,7 +10,7 @@ FUZZ_SEED ?= 0
 FUZZ_ROUNDS ?= 25
 
 .PHONY: test bench bench-all bench-check bench-stream bench-serve bench-qa \
-	fuzz fuzz-smoke serve clean
+	bench-scaling fuzz fuzz-smoke serve clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -37,6 +37,18 @@ bench-serve:
 		--benchmark-json=BENCH_serve.json -q
 	$(PYTHON) benchmarks/check_regression.py BENCH_serve.json \
 		--baseline benchmarks/BENCH_serve.json
+
+# Executor scaling (serial/thread/process at 1-4 workers), binary-codec
+# vs JSONL load, and cold-vs-warm cache speedup.  Runs without
+# --benchmark-only so the direct acceptance asserts (codec faster than
+# JSON, warm cache >= 5x) execute too; checked against the recorded
+# baseline (first run records it).
+bench-scaling:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/test_bench_scaling.py \
+		--benchmark-json=BENCH_scaling.json -q
+	$(PYTHON) benchmarks/check_regression.py BENCH_scaling.json \
+		--baseline benchmarks/BENCH_scaling.json --tolerance 0.50
 
 # Fuzzing-harness throughput (scenario generation + oracle scenarios/sec).
 bench-qa:
@@ -73,10 +85,10 @@ bench-all:
 
 # Run the pipeline bench and fail on >20% mean regression against the
 # recorded baseline (benchmarks/BENCH_baseline.json; first run records it).
-bench-check: bench
+bench-check: bench bench-scaling
 	$(PYTHON) benchmarks/check_regression.py BENCH_pipeline.json
 
 clean:
 	rm -f BENCH_pipeline.json BENCH_all.json BENCH_stream.json BENCH_serve.json \
-		BENCH_qa.json repro-fail-*.json
+		BENCH_qa.json BENCH_scaling.json repro-fail-*.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -200,7 +200,10 @@ def table2(study: StudyResult, top: int = 20) -> list:
                 identifiers[domain][medium].add(record.pii_type)
 
     rows = []
-    for domain in set(contact) | set(leaks):
+    # Sorted, not raw set iteration: the tie rows below would
+    # otherwise land in string-hash order and the top-N cut would
+    # vary with PYTHONHASHSEED.
+    for domain in sorted(set(contact) | set(leaks)):
         app_leaks = leaks[domain][APP]
         web_leaks = leaks[domain][WEB]
         app_services = contact[domain][APP]
@@ -224,8 +227,10 @@ def table2(study: StudyResult, top: int = 20) -> list:
             )
         )
     rows.sort(
-        key=lambda r: sum(leaks[r.domain][APP].values()) + sum(leaks[r.domain][WEB].values()),
-        reverse=True,
+        key=lambda r: (
+            -(sum(leaks[r.domain][APP].values()) + sum(leaks[r.domain][WEB].values())),
+            r.domain,
+        )
     )
     return rows[:top]
 

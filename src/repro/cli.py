@@ -50,6 +50,21 @@ def _build_study(args):
         duration=args.duration,
         train_recon=not args.no_recon,
         workers=_resolve_workers(getattr(args, "workers", 1)),
+        executor=getattr(args, "executor", None),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+
+
+def _add_executor(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor",
+        choices=["auto", "serial", "thread", "process"],
+        default="auto",
+        help="analysis fan-out backend: 'process' uses one OS process per "
+        "worker (true multi-core; the default on multi-core hosts), "
+        "'thread' shares the GIL, 'serial' is a plain loop; 'auto' picks "
+        "process when os.cpu_count() > 1, else serial. Results are "
+        "byte-identical for every choice.",
     )
 
 
@@ -68,8 +83,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--workers",
         type=int,
         default=1,
-        help="analysis threads; 0 = one per CPU core (results are "
+        help="analysis workers; 0 = one per CPU core (results are "
         "identical for any value)",
+    )
+    _add_executor(parser)
+    parser.add_argument(
+        "--cache-dir",
+        help="persistent incremental-analysis cache directory: campaign, "
+        "classifier, and per-session results are reused when their "
+        "content and config are unchanged",
     )
 
 
@@ -167,11 +189,18 @@ def cmd_analyze(args) -> int:
     dataset = Dataset.load(args.dataset)
     slugs = set(dataset.services())
     services = [s for s in build_catalog() if s.slug in slugs]
+    cache = None
+    if getattr(args, "cache_dir", None):
+        from .core.cache import AnalysisCache
+
+        cache = AnalysisCache(args.cache_dir)
     study = analyze_dataset(
         dataset,
         services,
         train_recon=not args.no_recon,
         workers=_resolve_workers(getattr(args, "workers", 1)),
+        executor=getattr(args, "executor", None),
+        cache=cache,
     )
     print(render_table1(table1(study)))
     print()
@@ -196,6 +225,7 @@ def cmd_stream(args) -> int:
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
             resume=args.resume,
+            executor=args.executor,
         )
         streamer.run()
         study = streamer.finalize(train_recon=not args.no_recon)
@@ -212,6 +242,7 @@ def cmd_stream(args) -> int:
             streaming=True,
             shards=args.shards,
             checkpoint_dir=args.checkpoint_dir,
+            executor=args.executor,
         )
         stats = throughput = None
     print(render_table1(table1(study)))
@@ -327,9 +358,18 @@ def cmd_fuzz(args) -> int:
     from .qa.scenarios import Scenario, generate_scenario
     from .qa.shrink import shrink, write_reproducer
 
+    # The process pool is always pinned (run_oracle's default); an
+    # explicit --executor adds that backend to the sweep.  The kwarg is
+    # only passed when it differs from the default so drop-in oracle
+    # replacements keep the original call shape.
+    extra = getattr(args, "executor", None)
+    executors = tuple(dict.fromkeys(((extra,) if extra else ()) + ("process",)))
+
     def run_safely(scenario) -> OracleReport:
         try:
-            return run_oracle(scenario)
+            if executors == ("process",):
+                return run_oracle(scenario)
+            return run_oracle(scenario, executors=executors)
         except Exception as exc:
             return OracleReport(
                 seed=scenario.seed,
@@ -509,7 +549,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="analysis threads (results are identical for any value)",
+        help="analysis workers (results are identical for any value)",
+    )
+    _add_executor(analyze_parser)
+    analyze_parser.add_argument(
+        "--cache-dir",
+        help="persistent per-session analysis cache (content-addressed; "
+        "config changes invalidate automatically)",
     )
     analyze_parser.set_defaults(func=cmd_analyze)
 
@@ -588,6 +634,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=40,
         help="max oracle evaluations spent shrinking a failure",
+    )
+    fuzz_parser.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        help="extra repro.par backend to pin against the serial reference "
+        "(the process pool is always pinned)",
     )
     fuzz_parser.set_defaults(func=cmd_fuzz)
     return parser

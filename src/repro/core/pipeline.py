@@ -11,12 +11,11 @@ and recommendation is computed from.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..experiment.dataset import APP, WEB, Dataset, SessionRecord
-from ..experiment.filtering import filter_background
+from ..experiment.filtering import filter_background, is_background_flow
 from ..experiment.runner import ExperimentRunner
 from ..pii.detector import PiiDetector
 from ..pii.matcher import matcher_for
@@ -191,22 +190,52 @@ def analyze_session(
     return analysis
 
 
+def label_record(record: SessionRecord) -> list:
+    """Extract one session's ReCon training examples.
+
+    Labels come from the session's own ground truth (the
+    controlled-experiment workflow); example order follows the trace,
+    so the concatenation order across sessions fully determines the
+    trained tree.
+    """
+    matcher = matcher_for(record.ground_truth)
+    out = []
+    for flow in filter_background(record.trace):
+        if not flow.decrypted:
+            continue
+        for txn in flow.transactions:
+            labels = {m.pii_type for m in matcher.match_request(txn.request)}
+            out.append(ReconClassifier.make_example(txn.request, labels))
+    return out
+
+
+def rescan_session(
+    record: SessionRecord,
+    spec: ServiceSpec,
+    recon: Optional[ReconClassifier],
+) -> tuple:
+    """Matching∪ReCon leak scan of one session's foreground traffic.
+
+    Returns ``(leaks, recon_false_positives)`` — the deferred pass the
+    streaming finalizer replays from the journal once the classifier
+    exists (see :meth:`repro.stream.analyzer.StreamAnalyzer.finalize`).
+    """
+    detector = PiiDetector(matcher_for(record.ground_truth), recon=recon)
+    policy = LeakPolicy(categorizer_for(spec))
+    observations: list = []
+    false_positives = 0
+    for flow in record.trace:
+        if is_background_flow(flow) or not flow.decrypted:
+            continue
+        for txn in flow.transactions:
+            found, fps = detector.scan_transaction(flow, txn)
+            observations.extend(found)
+            false_positives += fps
+    return policy.classify_all(observations), false_positives
+
+
 def _session_order(record: SessionRecord) -> tuple:
     return (record.service, record.os_name, record.medium)
-
-
-def _map_records(records: list, fn, workers: int) -> list:
-    """Apply ``fn`` to records, optionally on a thread pool.
-
-    Records are processed in ``(service, os, medium)`` order regardless
-    of worker count, and results are returned aligned with the *input*
-    order, so every ``workers`` value produces an identical study.
-    """
-    ordered = sorted(records, key=_session_order)
-    if workers <= 1 or len(ordered) <= 1:
-        return [fn(record) for record in ordered]
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, ordered))
 
 
 def train_recon_on_dataset(
@@ -214,38 +243,45 @@ def train_recon_on_dataset(
     every_nth_service: int = 4,
     rng_seed: int = 7,
     workers: int = 1,
+    executor=None,
+    cache=None,
 ) -> ReconClassifier:
     """Train ReCon on a slice of the dataset's sessions.
 
     Every ``every_nth_service``-th service's sessions (ordered by slug)
     become training traffic; labels come from each session's own ground
     truth, which is how the controlled experiments make ML training
-    possible without manual annotation.  ``workers`` parallelizes label
+    possible without manual annotation.  ``executor`` (an
+    :class:`repro.par.Executor` or backend name) parallelizes label
     extraction per session; examples are concatenated in deterministic
-    session order so the trained tree is identical for any value.
+    session order so the trained tree is identical for any backend and
+    worker count.  ``cache`` (an
+    :class:`repro.core.cache.AnalysisCache`) memoizes the fitted
+    classifier keyed by the training slice's content.
     """
+    from ..par import resolve_executor
+
     slugs = dataset.services()
     chosen = set(slugs[::every_nth_service])
-    records = [record for record in dataset if record.service in chosen]
-
-    def label_record(record: SessionRecord) -> list:
-        matcher = matcher_for(record.ground_truth)
-        out = []
-        for flow in filter_background(record.trace):
-            if not flow.decrypted:
-                continue
-            for txn in flow.transactions:
-                labels = {m.pii_type for m in matcher.match_request(txn.request)}
-                out.append(ReconClassifier.make_example(txn.request, labels))
-        return out
-
+    records = sorted(
+        (record for record in dataset if record.service in chosen),
+        key=_session_order,
+    )
+    if cache is not None:
+        cached = cache.load_recon(records, every_nth_service, rng_seed)
+        if cached is not None:
+            return cached
+    engine = resolve_executor(executor, workers)
     examples = []
-    for batch in _map_records(records, label_record, workers):
+    for batch in engine.map_label(records):
         examples.extend(batch)
     import random
 
     classifier = ReconClassifier(rng=random.Random(rng_seed))
-    return classifier.fit(examples)
+    classifier.fit(examples)
+    if cache is not None:
+        cache.store_recon(records, every_nth_service, rng_seed, classifier)
+    return classifier
 
 
 def analyze_dataset(
@@ -254,27 +290,35 @@ def analyze_dataset(
     recon: Optional[ReconClassifier] = None,
     train_recon: bool = True,
     workers: int = 1,
+    executor=None,
+    cache=None,
 ) -> StudyResult:
     """Evaluate a collected dataset into a :class:`StudyResult`.
 
-    ``workers > 1`` analyzes sessions on a thread pool; results are
-    assembled in the dataset's own order, so the study is byte-for-byte
-    identical for any worker count.
+    ``executor`` picks the fan-out backend (``"serial"``, ``"thread"``,
+    ``"process"``, ``"auto"``, an :class:`repro.par.Executor`, or
+    ``None`` for the legacy threads-when-``workers > 1`` behavior);
+    sessions are processed in ``(service, os, medium)`` order and
+    results assembled in the dataset's own order, so the study is
+    byte-for-byte identical for any backend and worker count.
+    ``cache`` reuses persisted per-session analyses when the trace
+    content and detection config both match.
     """
+    from ..par import resolve_executor
+
+    engine = resolve_executor(executor, workers)
     if recon is None and train_recon:
-        recon = train_recon_on_dataset(dataset, workers=workers)
+        recon = train_recon_on_dataset(
+            dataset, workers=workers, executor=engine, cache=cache
+        )
     by_slug = {spec.slug: spec for spec in services}
     records = list(dataset)
-
-    def analyze_record(record: SessionRecord) -> SessionAnalysis:
-        return analyze_session(record, by_slug[record.service], recon=recon)
-
-    analyses = dict(
-        zip(
-            [_session_order(r) for r in sorted(records, key=_session_order)],
-            _map_records(records, analyze_record, workers),
-        )
-    )
+    ordered = sorted(records, key=_session_order)
+    if cache is not None:
+        results = cache.analyze_all(ordered, services, recon, engine)
+    else:
+        results = engine.map_analyze(ordered, services, recon)
+    analyses = dict(zip([_session_order(r) for r in ordered], results))
     results: dict = {}
     for record in records:
         result = results.get(record.service)
@@ -298,12 +342,20 @@ def run_study(
     streaming: bool = False,
     shards: int = 1,
     checkpoint_dir=None,
+    executor=None,
+    cache_dir=None,
 ) -> StudyResult:
     """Collect and evaluate the full study (the paper, end to end).
 
-    ``workers`` threads the analysis fan-out (see
+    ``executor``/``workers`` pick the analysis fan-out backend (see
     :func:`analyze_dataset`); collection itself stays sequential because
     the simulated world advances a single deterministic clock.
+
+    ``cache_dir`` enables the persistent incremental cache
+    (:mod:`repro.core.cache`): the collected campaign, the trained
+    classifier, and every per-session analysis are stored
+    content-addressed, so an unchanged re-run skips straight to
+    aggregation and any config change invalidates cleanly.
 
     ``streaming=True`` analyzes the capture *live* instead of post-hoc:
     a :class:`~repro.proxy.addons.StreamCapture` addon feeds each
@@ -312,18 +364,50 @@ def run_study(
     byte-for-byte identical to the batch path; ``checkpoint_dir``
     additionally makes the run crash-resumable.
     """
+    cache = None
+    campaign_key = None
+    if cache_dir is not None:
+        from .cache import AnalysisCache
+
+        cache = AnalysisCache(cache_dir)
+    if not streaming:
+        if cache is not None and world is None and services is not None:
+            # The campaign is a pure function of (specs, seed, duration):
+            # with a cache we can skip the whole simulated collection.
+            campaign_key = cache.campaign_key(services, seed, duration)
+            dataset = cache.load_campaign(campaign_key)
+            if dataset is not None:
+                return analyze_dataset(
+                    dataset,
+                    services,
+                    train_recon=train_recon,
+                    workers=workers,
+                    executor=executor,
+                    cache=cache,
+                )
     if world is None:
         world = build_world(services)
     specs = services if services is not None else world.services
     runner = ExperimentRunner(world, seed=seed)
     if not streaming:
         dataset = runner.run_study(specs, duration=duration)
-        return analyze_dataset(dataset, specs, train_recon=train_recon, workers=workers)
+        if cache is not None and campaign_key is not None:
+            cache.store_campaign(campaign_key, dataset)
+        return analyze_dataset(
+            dataset,
+            specs,
+            train_recon=train_recon,
+            workers=workers,
+            executor=executor,
+            cache=cache,
+        )
 
     from ..proxy.addons import StreamCapture
     from ..stream.analyzer import StreamAnalyzer
 
-    analyzer = StreamAnalyzer(specs, shards=shards, checkpoint_dir=checkpoint_dir)
+    analyzer = StreamAnalyzer(
+        specs, shards=shards, checkpoint_dir=checkpoint_dir, executor=executor
+    )
     capture = StreamCapture(analyzer.publish)
     world.proxy.add_addon(capture)
     try:

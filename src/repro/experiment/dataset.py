@@ -84,20 +84,24 @@ class Dataset:
 
     # -- persistence ---------------------------------------------------------
 
-    def save(self, directory: Union[str, Path]) -> None:
+    def save(self, directory: Union[str, Path], fmt: str = "binary") -> None:
         """Write traces + manifest under ``directory``.
 
+        ``fmt`` picks the trace format (``"binary"`` default, ``"json"``
+        for the legacy JSONL files); :meth:`load` reads either since the
+        manifest records filenames and ``Trace.load`` sniffs the format.
         Every file (each trace and the manifest) is written atomically,
         and the manifest goes last — a killed save never leaves a
         manifest pointing at truncated or missing traces.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        extension = "bin" if fmt == "binary" else "jsonl"
         manifest = []
         for key in sorted(self._sessions):
             record = self._sessions[key]
-            filename = f"{record.service}_{record.os_name}_{record.medium}.jsonl"
-            record.trace.dump(directory / filename)
+            filename = f"{record.service}_{record.os_name}_{record.medium}.{extension}"
+            record.trace.dump(directory / filename, fmt=fmt)
             manifest.append(
                 {
                     "service": record.service,

@@ -18,15 +18,15 @@ from pathlib import Path
 from typing import Union
 
 
-def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8") -> None:
-    """Write ``text`` to ``path`` atomically (temp sibling + replace)."""
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp sibling + replace)."""
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
         prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
     )
     try:
-        with os.fdopen(fd, "w", encoding=encoding) as handle:
-            handle.write(text)
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
@@ -36,6 +36,11 @@ def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8"
         except OSError:
             pass
         raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (temp sibling + replace)."""
+    atomic_write_bytes(path, text.encode(encoding))
 
 
 def atomic_write_json(path: Union[str, Path], payload, indent: int = 1) -> None:

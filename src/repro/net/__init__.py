@@ -1,6 +1,16 @@
 """Flow-level network substrate: clock, addressing, DNS, flows, traces."""
 
 from .clock import ClockError, SimClock
+from .codec import (
+    CodecError,
+    decode_flow,
+    decode_record,
+    decode_trace,
+    encode_flow,
+    encode_record,
+    encode_trace,
+    record_content_hash,
+)
 from .dns import DnsError, Resolver, stable_address
 from .flow import CapturedRequest, CapturedResponse, Flow, HttpTransaction, TlsInfo
 from .inet import (
@@ -23,7 +33,15 @@ __all__ = [
     "CapturedRequest",
     "CapturedResponse",
     "ClockError",
+    "CodecError",
     "DnsError",
+    "decode_flow",
+    "decode_record",
+    "decode_trace",
+    "encode_flow",
+    "encode_record",
+    "encode_trace",
+    "record_content_hash",
     "Flow",
     "HttpTransaction",
     "Resolver",

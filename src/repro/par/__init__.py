@@ -1,0 +1,30 @@
+"""Pluggable execution engine: serial / thread / process backends.
+
+One :class:`Executor` interface maps the per-session pipeline stages
+(analyze, ReCon labeling, journal re-scan) over session records; the
+batch pipeline, the streaming finalizer, and the QA oracle all route
+through it, and every backend is pinned byte-identical for any worker
+count.
+"""
+
+from .executor import (
+    EXECUTOR_NAMES,
+    Executor,
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_executor_name,
+    resolve_executor,
+)
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "Executor",
+    "ExecutorError",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "default_executor_name",
+    "resolve_executor",
+]

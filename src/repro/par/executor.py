@@ -1,0 +1,226 @@
+"""Executor backends: one interface, three ways to spend cores.
+
+The pipeline's fan-out points (:func:`analyze_dataset`,
+:func:`train_recon_on_dataset`, the streaming finalizer's journal
+replay) all map a pure per-session function over an ordered list of
+records.  An :class:`Executor` owns *how* that map runs:
+
+- :class:`SerialExecutor` — plain loop, zero overhead, the reference;
+- :class:`ThreadExecutor` — ``ThreadPoolExecutor``; threads share the
+  GIL, so this only helps where C-level work releases it (kept as the
+  legacy ``workers=N`` behavior);
+- :class:`ProcessExecutor` — ``ProcessPoolExecutor``; the only backend
+  where ``--workers N`` means N cores for this pure-Python CPU-bound
+  pipeline.  Records ship to workers as compact codec blobs
+  (:mod:`repro.net.codec`), context (specs + ReCon) installs once per
+  worker, and results come back as JSON-safe dicts.
+
+Every backend returns results aligned with the *input* record order,
+and the QA oracle pins all of them byte-identical to serial for any
+worker count.  The process backend additionally requires hash-seed
+independence from the stages it runs (see the sorted-iteration notes
+in :mod:`repro.pii.recon`), because a spawned worker gets its own
+string-hash seed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Optional, Union
+
+from . import tasks
+
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+class ExecutorError(Exception):
+    """Raised for unknown backend names or misconfigured executors."""
+
+
+class Executor:
+    """Maps per-session pipeline stages over ordered session records."""
+
+    name = "abstract"
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, int(workers))
+
+    def map_analyze(self, records: list, specs: list, recon) -> list:
+        """Full analysis per record -> ``list[SessionAnalysis]``."""
+        raise NotImplementedError
+
+    def map_label(self, records: list) -> list:
+        """ReCon labeling per record -> ``list[list[TrainingExample]]``."""
+        raise NotImplementedError
+
+    def map_rescan(self, records: list, specs: list, recon) -> list:
+        """Deferred re-scan per record -> ``list[(leaks, false_positives)]``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} workers={self.workers}>"
+
+
+class SerialExecutor(Executor):
+    """In-order, in-process reference backend."""
+
+    name = "serial"
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(1)
+
+    def map_analyze(self, records: list, specs: list, recon) -> list:
+        from ..core.pipeline import analyze_session
+
+        by_slug = {spec.slug: spec for spec in specs}
+        return [
+            analyze_session(record, by_slug[record.service], recon=recon)
+            for record in records
+        ]
+
+    def map_label(self, records: list) -> list:
+        from ..core.pipeline import label_record
+
+        return [label_record(record) for record in records]
+
+    def map_rescan(self, records: list, specs: list, recon) -> list:
+        from ..core.pipeline import rescan_session
+
+        by_slug = {spec.slug: spec for spec in specs}
+        return [
+            rescan_session(record, by_slug[record.service], recon=recon)
+            for record in records
+        ]
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool backend (the pre-existing ``workers=N`` behavior)."""
+
+    name = "thread"
+
+    def _map(self, fn, items: list) -> list:
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(fn, items))
+
+    def map_analyze(self, records: list, specs: list, recon) -> list:
+        from ..core.pipeline import analyze_session
+
+        by_slug = {spec.slug: spec for spec in specs}
+        return self._map(
+            lambda record: analyze_session(record, by_slug[record.service], recon=recon),
+            records,
+        )
+
+    def map_label(self, records: list) -> list:
+        from ..core.pipeline import label_record
+
+        return self._map(label_record, records)
+
+    def map_rescan(self, records: list, specs: list, recon) -> list:
+        from ..core.pipeline import rescan_session
+
+        by_slug = {spec.slug: spec for spec in specs}
+        return self._map(
+            lambda record: rescan_session(record, by_slug[record.service], recon=recon),
+            records,
+        )
+
+
+def _mp_context():
+    """Prefer ``fork`` (context inherits free); fall back to ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ProcessExecutor(Executor):
+    """Process-pool backend: true multi-core for pure-Python stages.
+
+    A fresh pool is created per map call because the worker context
+    (specs, trained ReCon) differs between stages; with the ``fork``
+    start method pool creation is copy-on-write and costs milliseconds.
+    """
+
+    name = "process"
+
+    def _run(self, task_fn, records: list, specs: list, recon) -> list:
+        from ..net import codec
+
+        if not records:
+            return []
+        blobs = [codec.encode_record(record) for record in records]
+        workers = min(self.workers, len(blobs))
+        if workers <= 1:
+            # Degenerate pool sizes skip IPC entirely; results are
+            # byte-identical either way, this is purely less overhead.
+            tasks.init_worker(specs, recon)
+            return [task_fn(blob) for blob in blobs]
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_mp_context(),
+            initializer=tasks.init_worker,
+            initargs=(list(specs), recon),
+        ) as pool:
+            return list(pool.map(task_fn, blobs))
+
+    def map_analyze(self, records: list, specs: list, recon) -> list:
+        from ..core.pipeline import SessionAnalysis
+
+        payloads = self._run(tasks.analyze_blob, records, specs, recon)
+        return [SessionAnalysis.from_dict(payload) for payload in payloads]
+
+    def map_label(self, records: list) -> list:
+        return self._run(tasks.label_blob, records, [], None)
+
+    def map_rescan(self, records: list, specs: list, recon) -> list:
+        from ..core.leaks import LeakRecord
+
+        payloads = self._run(tasks.rescan_blob, records, specs, recon)
+        return [
+            (
+                [LeakRecord.from_dict(entry) for entry in payload["leaks"]],
+                payload["recon_false_positives"],
+            )
+            for payload in payloads
+        ]
+
+
+def default_executor_name() -> str:
+    """The ``auto`` policy: ``process`` when the host has cores to use."""
+    return "process" if (os.cpu_count() or 1) > 1 else "serial"
+
+
+def resolve_executor(
+    executor: Union[Executor, str, None],
+    workers: int = 1,
+) -> Executor:
+    """Turn an executor spec into a backend instance.
+
+    ``None`` keeps the legacy library behavior (threads when
+    ``workers > 1``, else serial) so existing callers are unchanged.
+    ``"auto"`` applies the CLI default policy: process on multi-core
+    hosts — with every core when ``workers`` was left at 1 — serial
+    otherwise.  A string picks a backend explicitly; an
+    :class:`Executor` instance passes through.
+    """
+    if isinstance(executor, Executor):
+        return executor
+    cpus = os.cpu_count() or 1
+    if executor is None:
+        return ThreadExecutor(workers) if workers > 1 else SerialExecutor()
+    if executor == "auto":
+        if cpus > 1:
+            return ProcessExecutor(workers if workers > 1 else cpus)
+        return ThreadExecutor(workers) if workers > 1 else SerialExecutor()
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "thread":
+        return ThreadExecutor(workers)
+    if executor == "process":
+        return ProcessExecutor(workers)
+    raise ExecutorError(
+        f"unknown executor {executor!r} (choose one of {EXECUTOR_NAMES} or 'auto')"
+    )

@@ -1,0 +1,63 @@
+"""Module-level task functions for the process-pool backend.
+
+A :class:`~concurrent.futures.ProcessPoolExecutor` can only ship
+module-level callables, so the per-session pipeline stages live here as
+plain functions over codec-encoded payloads:
+
+- the *payload* crossing the pool's call queue is the session record in
+  the compact binary form from :mod:`repro.net.codec` — one ``bytes``
+  object, far cheaper to pickle than the object graph;
+- the *context* every task needs (service specs, trained ReCon
+  classifier) is installed once per worker by :func:`init_worker` via
+  the pool's initializer — under the ``fork`` start method it is
+  inherited from the parent without any serialization at all;
+- *results* return as the JSON-safe dict forms the streaming
+  checkpoints already pin round-trip-faithful
+  (:meth:`SessionAnalysis.to_dict` / :meth:`LeakRecord.to_dict`), plus
+  pickled :class:`TrainingExample` lists for the labeling stage.
+
+Worker-side caches (matcher, categorizer, decode memos) warm up
+per-process and are reused across that worker's tasks.
+"""
+
+from __future__ import annotations
+
+_CONTEXT = {"specs_by_slug": None, "recon": None}
+
+
+def init_worker(specs: list, recon) -> None:
+    """Pool initializer: install the per-worker analysis context."""
+    _CONTEXT["specs_by_slug"] = {spec.slug: spec for spec in specs}
+    _CONTEXT["recon"] = recon
+
+
+def analyze_blob(blob: bytes) -> dict:
+    """Full per-session analysis; returns ``SessionAnalysis.to_dict()``."""
+    from ..core.pipeline import analyze_session
+    from ..net import codec
+
+    record = codec.decode_record(blob)
+    spec = _CONTEXT["specs_by_slug"][record.service]
+    return analyze_session(record, spec, recon=_CONTEXT["recon"]).to_dict()
+
+
+def label_blob(blob: bytes) -> list:
+    """ReCon labeling; returns the session's ``TrainingExample`` list."""
+    from ..core.pipeline import label_record
+    from ..net import codec
+
+    return label_record(codec.decode_record(blob))
+
+
+def rescan_blob(blob: bytes) -> dict:
+    """Deferred matching∪ReCon re-scan (streaming finalize stage)."""
+    from ..core.pipeline import rescan_session
+    from ..net import codec
+
+    record = codec.decode_record(blob)
+    spec = _CONTEXT["specs_by_slug"][record.service]
+    leaks, false_positives = rescan_session(record, spec, recon=_CONTEXT["recon"])
+    return {
+        "leaks": [leak.to_dict() for leak in leaks],
+        "recon_false_positives": false_positives,
+    }

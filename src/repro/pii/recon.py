@@ -125,11 +125,17 @@ class DecisionTree:
         counts: Counter = Counter()
         for features in samples:
             counts.update(features)
-        vocabulary = {f for f, _ in counts.most_common(self.max_features)}
+        # Candidate order must not depend on the process's string-hash
+        # seed: a set here would make split tie-breaks (equal gain)
+        # vary across interpreters, so trees trained in a worker
+        # process could differ from the parent's.  most_common is
+        # stable (count desc, first-seen order on ties) and the final
+        # sort pins one canonical iteration order everywhere.
+        vocabulary = sorted(f for f, _ in counts.most_common(self.max_features))
         self._root = self._grow(samples, labels, vocabulary, depth=0)
         return self
 
-    def _grow(self, samples: list, labels: list, vocabulary: set, depth: int) -> _Node:
+    def _grow(self, samples: list, labels: list, vocabulary: list, depth: int) -> _Node:
         positives = sum(labels)
         total = len(labels)
         probability = positives / total if total else 0.0
@@ -174,7 +180,7 @@ class DecisionTree:
             else:
                 without_samples.append(features)
                 without_labels.append(label)
-        remaining = vocabulary - {best_feature}
+        remaining = [f for f in vocabulary if f != best_feature]
         return _Node(
             feature=best_feature,
             present=self._grow(with_samples, with_labels, remaining, depth + 1),
@@ -276,7 +282,9 @@ class ReconClassifier:
         for example in examples:
             present_types.update(example.labels)
 
-        for pii_type in present_types:
+        # Sorted for hash-seed-independent training order (stable
+        # pickle bytes for the persistent recon cache).
+        for pii_type in sorted(present_types, key=lambda t: t.value):
             labels = [pii_type in ex.labels for ex in examples]
             if not any(labels) or all(labels):
                 continue
@@ -315,7 +323,9 @@ class ReconClassifier:
             domain = ""
         fields = extract_fields(request)
         predictions = []
-        for pii_type in self.trained_types:
+        # Sorted: prediction order feeds the detector's observation
+        # merge, so it must not follow randomized set-hash order.
+        for pii_type in sorted(self.trained_types, key=lambda t: t.value):
             tree = self._tree_for(domain, pii_type)
             if tree is None:
                 continue

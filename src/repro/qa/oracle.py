@@ -9,6 +9,9 @@ diff), so a fuzz failure points straight at the layer that broke.
 Paths compared against the ``workers=1`` batch reference:
 
 - batch with ``workers=N`` (parallel per-session analysis);
+- batch through each pinned :mod:`repro.par` backend — the process
+  pool by default, whose workers re-serialize every session through
+  the binary codec and own a fresh string-hash seed;
 - streaming via :func:`repro.stream.stream_dataset` at each shard count;
 - the fast Aho–Corasick matcher vs ``GroundTruthMatcher(slow=True)``
   per decrypted transaction and per generated probe text;
@@ -132,8 +135,14 @@ def _identity(value):
     return value
 
 
-def run_oracle(scenario: Scenario, mutators=None) -> OracleReport:
-    """Run every differential comparison for one scenario."""
+def run_oracle(scenario: Scenario, mutators=None, executors=("process",)) -> OracleReport:
+    """Run every differential comparison for one scenario.
+
+    ``executors`` are extra :mod:`repro.par` backends pinned against
+    the serial reference (the process pool is always worth pinning —
+    it is the one backend whose workers have their own string-hash
+    seed and cross a serialization boundary).
+    """
     mutators = dict(mutators or {})
 
     def mutate(name, value):
@@ -166,6 +175,17 @@ def run_oracle(scenario: Scenario, mutators=None) -> OracleReport:
         dataset, specs, train_recon=scenario.train_recon, workers=4
     )
     check_study("batch[workers=4]", parallel, "workers")
+
+    # -- execution backends (thread pool above; process pool pinned too) -----
+    for backend in dict.fromkeys(executors):
+        pooled = analyze_dataset(
+            dataset,
+            specs,
+            train_recon=scenario.train_recon,
+            workers=4,
+            executor=backend,
+        )
+        check_study(f"batch[{backend},workers=4]", pooled, backend)
 
     # -- streaming, every shard count ---------------------------------------
     for shards in scenario.shard_counts:

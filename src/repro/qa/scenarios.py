@@ -341,6 +341,15 @@ def _row_from_dict(data: dict) -> CatalogRow:
     return CatalogRow(**kwargs)
 
 
+def _jsonify(value):
+    """Direct JSON-shape conversion (tuples -> lists), no text round-trip."""
+    if isinstance(value, dict):
+        return {key: _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    return value
+
+
 # ---------------------------------------------------------------------------
 # Scenario
 # ---------------------------------------------------------------------------
@@ -367,7 +376,7 @@ class Scenario:
         return [_build_spec(_row_from_dict(row)) for row in self.services]
 
     def to_dict(self) -> dict:
-        return json.loads(json.dumps(asdict(self)))
+        return _jsonify(asdict(self))
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":

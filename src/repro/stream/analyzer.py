@@ -38,9 +38,9 @@ from ..core.pipeline import (
     StudyResult,
     categorizer_for,
 )
-from ..experiment.dataset import Dataset
+from ..experiment.dataset import Dataset, SessionRecord
 from ..experiment.filtering import is_background_flow
-from ..net.trace import SessionMeta
+from ..net.trace import SessionMeta, Trace
 from ..pii.detector import PiiDetector
 from ..pii.matcher import matcher_for
 from ..pii.recon import ReconClassifier
@@ -243,9 +243,11 @@ class StreamAnalyzer:
         checkpoint_dir=None,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         resume: bool = False,
+        executor=None,
     ) -> None:
         self.services = list(services)
         self.specs_by_slug = {spec.slug: spec for spec in self.services}
+        self.executor = executor  # backend for the deferred ReCon passes
         self._tempdir = None
         if checkpoint_dir is None:
             # The journal backs the deferred ReCon passes even when the
@@ -341,17 +343,49 @@ class StreamAnalyzer:
         self.finish()
         self.journal.close()
         try:
+            from ..par import resolve_executor
+
+            engine = resolve_executor(self.executor)
             states = self.session_states()
             if recon is None and train_recon and states:
-                recon = self._train_recon(states)
+                recon = self._train_recon(states, engine)
             if recon is not None:
-                self._apply_recon(states, recon)
+                self._apply_recon(states, recon, engine)
             return self._assemble(states, recon)
         finally:
             if self._tempdir is not None:
                 self._tempdir.cleanup()
 
-    def _train_recon(self, states: dict) -> ReconClassifier:
+    def _journal_records(self, keep) -> list:
+        """Bulk journal replay as :class:`SessionRecord` work items.
+
+        Each journaled session whose key passes ``keep`` becomes a
+        record (ground truth in publish order, flows in journal order)
+        — the executor's unit of fan-out; the process backend ships
+        them to workers in codec form.  Returned sorted by session key,
+        the canonical processing order of every pipeline path.
+        """
+        records = []
+        for key, ground_truth, flows in self.journal.sessions():
+            if not keep(key):
+                continue
+            trace = Trace(
+                meta=SessionMeta(service=key[0], os_name=key[1], medium=key[2]),
+                flows=list(flows),
+            )
+            records.append(
+                SessionRecord(
+                    service=key[0],
+                    os_name=key[1],
+                    medium=key[2],
+                    trace=trace,
+                    ground_truth=ground_truth,
+                )
+            )
+        records.sort(key=lambda record: record.key)
+        return records
+
+    def _train_recon(self, states: dict, engine) -> ReconClassifier:
         """Train ReCon from the journal, mirroring the batch slice.
 
         Same selection (every 4th service by sorted slug), same label
@@ -360,48 +394,26 @@ class StreamAnalyzer:
         """
         slugs = sorted({key[0] for key in states})
         chosen = set(slugs[::RECON_EVERY_NTH_SERVICE])
-        per_session: dict = {}
-        for key, ground_truth, flows in self.journal.sessions():
-            if key[0] not in chosen:
-                continue
-            matcher = matcher_for(ground_truth)
-            examples = []
-            for flow in flows:
-                if is_background_flow(flow) or not flow.decrypted:
-                    continue
-                for txn in flow.transactions:
-                    labels = {m.pii_type for m in matcher.match_request(txn.request)}
-                    examples.append(ReconClassifier.make_example(txn.request, labels))
-            per_session[key] = examples
-        ordered = []
-        for key in sorted(per_session):
-            ordered.extend(per_session[key])
+        records = self._journal_records(lambda key: key[0] in chosen)
+        examples: list = []
+        for batch in engine.map_label(records):
+            examples.extend(batch)
         classifier = ReconClassifier(rng=random.Random(RECON_RNG_SEED))
-        return classifier.fit(ordered)
+        return classifier.fit(examples)
 
-    def _apply_recon(self, states: dict, recon: ReconClassifier) -> None:
+    def _apply_recon(self, states: dict, recon: ReconClassifier, engine) -> None:
         """Replay journaled transactions through the combined detector.
 
         Overwrites each session's leak list and false-positive count
         with the matching∪ReCon result — exactly what
-        :func:`~repro.core.pipeline.analyze_session` computes.
+        :func:`~repro.core.pipeline.analyze_session` computes (the
+        shared :func:`~repro.core.pipeline.rescan_session` stage).
         """
-        for key, ground_truth, flows in self.journal.sessions():
-            state = states.get(key)
-            if state is None:
-                continue
-            detector = PiiDetector(matcher_for(ground_truth), recon=recon)
-            policy = LeakPolicy(categorizer_for(state.spec))
-            observations: list = []
-            false_positives = 0
-            for flow in flows:
-                if is_background_flow(flow) or not flow.decrypted:
-                    continue
-                for txn in flow.transactions:
-                    found, fps = detector.scan_transaction(flow, txn)
-                    observations.extend(found)
-                    false_positives += fps
-            state.analysis.leaks = policy.classify_all(observations)
+        records = self._journal_records(lambda key: key in states)
+        results = engine.map_rescan(records, self.services, recon)
+        for record, (leaks, false_positives) in zip(records, results):
+            state = states[record.key]
+            state.analysis.leaks = leaks
             state.analysis.recon_false_positives = false_positives
 
     def _assemble(self, states: dict, recon) -> StudyResult:
@@ -492,14 +504,16 @@ def stream_dataset(
     checkpoint_dir=None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     resume: bool = False,
+    executor=None,
 ) -> StudyResult:
     """Evaluate a collected dataset through the streaming subsystem.
 
     The streaming twin of :func:`repro.core.pipeline.analyze_dataset`:
-    same inputs, byte-for-byte equal output, for any ``shards`` value.
-    With ``checkpoint_dir`` set, a killed run re-invoked with
-    ``resume=True`` picks up from the last snapshot without
-    re-analyzing already-processed flows.
+    same inputs, byte-for-byte equal output, for any ``shards`` value
+    and any ``executor`` backend (the deferred ReCon passes fan out
+    through :mod:`repro.par`).  With ``checkpoint_dir`` set, a killed
+    run re-invoked with ``resume=True`` picks up from the last snapshot
+    without re-analyzing already-processed flows.
     """
     streamer = DatasetStreamer(
         dataset,
@@ -509,6 +523,7 @@ def stream_dataset(
         checkpoint_dir=checkpoint_dir,
         checkpoint_every=checkpoint_every,
         resume=resume,
+        executor=executor,
     )
     streamer.run()
     return streamer.finalize(train_recon=train_recon, recon=recon)

@@ -1,0 +1,207 @@
+"""Tests for the persistent incremental analysis cache (repro.core.cache)."""
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.core.cache import (
+    AnalysisCache,
+    recon_fingerprint,
+    spec_fingerprint,
+)
+from repro.core.pipeline import analyze_dataset, run_study
+from repro.experiment.runner import ExperimentRunner
+from repro.qa.oracle import canonical_bytes
+from repro.qa.scenarios import generate_scenario
+from repro.services.world import build_world
+
+
+def _collect(seed: int):
+    scenario = generate_scenario(seed, max_services=2)
+    specs = scenario.build_specs()
+    world = build_world(specs)
+    runner = ExperimentRunner(world, seed=scenario.study_seed)
+    dataset = runner.run_study(specs, duration=scenario.duration)
+    return scenario, specs, dataset
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    """(scenario, specs, dataset) collected once for the module."""
+    return _collect(3)
+
+
+@pytest.fixture(scope="module")
+def recon_world():
+    """A scenario whose seed enables classifier training (seed 0)."""
+    world = _collect(0)
+    assert world[0].train_recon
+    return world
+
+
+def _study_bytes(dataset, specs, scenario, cache=None):
+    return canonical_bytes(
+        analyze_dataset(
+            dataset, specs, train_recon=scenario.train_recon, cache=cache
+        )
+    )
+
+
+class TestSessionLayer:
+    def test_cold_then_warm_byte_identical(self, tmp_path, small_world):
+        scenario, specs, dataset = small_world
+        reference = _study_bytes(dataset, specs, scenario)
+
+        cold_cache = AnalysisCache(tmp_path / "cache")
+        cold = _study_bytes(dataset, specs, scenario, cache=cold_cache)
+        assert cold == reference
+        assert cold_cache.hits == 0
+        assert cold_cache.misses == len(dataset)
+
+        warm_cache = AnalysisCache(tmp_path / "cache")
+        warm = _study_bytes(dataset, specs, scenario, cache=warm_cache)
+        assert warm == reference
+        assert warm_cache.hits == len(dataset)
+        assert warm_cache.misses == 0
+
+    def test_spec_change_invalidates(self, tmp_path, small_world):
+        scenario, specs, dataset = small_world
+        cache = AnalysisCache(tmp_path / "cache")
+        _study_bytes(dataset, specs, scenario, cache=cache)
+
+        changed = [dataclasses.replace(specs[0], rank=specs[0].rank + 1000)] + list(
+            specs[1:]
+        )
+        assert spec_fingerprint(changed[0]) != spec_fingerprint(specs[0])
+
+        again = AnalysisCache(tmp_path / "cache")
+        analyze_dataset(dataset, changed, train_recon=scenario.train_recon, cache=again)
+        # The changed service's sessions miss; the untouched one hits.
+        assert again.misses > 0
+        assert again.hits > 0
+
+    def test_torn_session_entry_recovers(self, tmp_path, small_world):
+        scenario, specs, dataset = small_world
+        cache = AnalysisCache(tmp_path / "cache")
+        reference = _study_bytes(dataset, specs, scenario, cache=cache)
+
+        entries = sorted(cache.sessions_dir.glob("*.json"))
+        assert entries
+        # Tear one entry mid-byte and garbage another: both must read
+        # as misses, recompute, and still produce identical output.
+        torn = entries[0]
+        torn.write_bytes(torn.read_bytes()[: torn.stat().st_size // 2])
+        entries[-1].write_bytes(b"\xff\xfe not json")
+
+        recovered = AnalysisCache(tmp_path / "cache")
+        assert _study_bytes(dataset, specs, scenario, cache=recovered) == reference
+        assert recovered.misses >= 2
+
+    def test_schema_drift_entry_recovers(self, tmp_path, small_world):
+        scenario, specs, dataset = small_world
+        cache = AnalysisCache(tmp_path / "cache")
+        reference = _study_bytes(dataset, specs, scenario, cache=cache)
+
+        entry = sorted(cache.sessions_dir.glob("*.json"))[0]
+        entry.write_text(json.dumps({"valid_json": "wrong shape"}))
+
+        recovered = AnalysisCache(tmp_path / "cache")
+        assert _study_bytes(dataset, specs, scenario, cache=recovered) == reference
+
+
+class TestReconLayer:
+    def test_recon_hit_and_fingerprint_stability(self, tmp_path, recon_world):
+        scenario, specs, dataset = recon_world
+        cache = AnalysisCache(tmp_path / "cache")
+        _study_bytes(dataset, specs, scenario, cache=cache)
+        warm = AnalysisCache(tmp_path / "cache")
+        _study_bytes(dataset, specs, scenario, cache=warm)
+        assert warm.recon_hits == 1
+
+    def test_corrupt_recon_pickle_is_a_miss(self, tmp_path, recon_world):
+        scenario, specs, dataset = recon_world
+        cache = AnalysisCache(tmp_path / "cache")
+        reference = _study_bytes(dataset, specs, scenario, cache=cache)
+
+        for pkl in cache.recon_dir.glob("*.pkl"):
+            pkl.write_bytes(pkl.read_bytes()[:-7])  # torn tail
+
+        recovered = AnalysisCache(tmp_path / "cache")
+        assert _study_bytes(dataset, specs, scenario, cache=recovered) == reference
+        assert recovered.recon_misses >= 1
+
+    def test_wrong_type_pickle_is_a_miss(self, tmp_path, recon_world):
+        scenario, specs, dataset = recon_world
+        cache = AnalysisCache(tmp_path / "cache")
+        _study_bytes(dataset, specs, scenario, cache=cache)
+
+        for pkl in cache.recon_dir.glob("*.pkl"):
+            pkl.write_bytes(pickle.dumps({"not": "a classifier"}))
+
+        recovered = AnalysisCache(tmp_path / "cache")
+        _study_bytes(dataset, specs, scenario, cache=recovered)
+        assert recovered.recon_misses >= 1
+
+    def test_fingerprint_none_vs_trained(self):
+        assert recon_fingerprint(None) == "no-recon"
+
+
+class TestCampaignLayer:
+    def test_run_study_cold_then_warm_byte_identical(self, tmp_path, small_world):
+        scenario, specs, _ = small_world
+        kwargs = dict(
+            services=specs,
+            seed=scenario.study_seed,
+            duration=scenario.duration,
+            train_recon=scenario.train_recon,
+        )
+        reference = canonical_bytes(run_study(**kwargs))
+
+        cache_dir = tmp_path / "cache"
+        cold = run_study(cache_dir=cache_dir, **kwargs)
+        assert canonical_bytes(cold) == reference
+        warm = run_study(cache_dir=cache_dir, **kwargs)
+        assert canonical_bytes(warm) == reference
+
+    def test_campaign_key_sensitive_to_inputs(self, small_world):
+        _, specs, _ = small_world
+        cache = AnalysisCache("unused")
+        base = cache.campaign_key(specs, seed=1, duration=60.0)
+        assert cache.campaign_key(specs, seed=2, duration=60.0) != base
+        assert cache.campaign_key(specs, seed=1, duration=61.0) != base
+        assert cache.campaign_key(specs[:1], seed=1, duration=60.0) != base
+
+    def test_torn_campaign_recollects(self, tmp_path, small_world):
+        scenario, specs, _ = small_world
+        kwargs = dict(
+            services=specs,
+            seed=scenario.study_seed,
+            duration=scenario.duration,
+            train_recon=scenario.train_recon,
+        )
+        cache_dir = tmp_path / "cache"
+        reference = canonical_bytes(run_study(cache_dir=cache_dir, **kwargs))
+
+        campaigns = AnalysisCache(cache_dir).campaigns_dir
+        traces = sorted(campaigns.glob("*/*.bin"))
+        assert traces
+        traces[0].write_bytes(traces[0].read_bytes()[:20])
+
+        assert canonical_bytes(run_study(cache_dir=cache_dir, **kwargs)) == reference
+
+    def test_store_load_roundtrip_primes_hashes(self, tmp_path, small_world):
+        _, specs, dataset = small_world
+        cache = AnalysisCache(tmp_path / "cache")
+        key = cache.campaign_key(specs, seed=1, duration=60.0)
+        cache.store_campaign(key, dataset)
+
+        fresh = AnalysisCache(tmp_path / "cache")
+        loaded = fresh.load_campaign(key)
+        assert loaded is not None
+        assert fresh.campaign_hits == 1
+        for record in loaded:
+            # The sidecar primed every hash: addressing a record now
+            # does not re-encode its trace.
+            assert id(record) in fresh._hash_memo

@@ -1,0 +1,119 @@
+"""Tests for the execution engine (repro.par): backend equivalence."""
+
+import pytest
+
+from repro.core.pipeline import analyze_dataset
+from repro.experiment.runner import ExperimentRunner
+from repro.par import (
+    EXECUTOR_NAMES,
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_executor_name,
+    resolve_executor,
+)
+from repro.qa.oracle import canonical_bytes
+from repro.qa.scenarios import generate_scenario
+from repro.services.world import build_world
+from repro.stream.analyzer import stream_dataset
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    scenario = generate_scenario(0, max_services=2)
+    specs = scenario.build_specs()
+    world = build_world(specs)
+    runner = ExperimentRunner(world, seed=scenario.study_seed)
+    dataset = runner.run_study(specs, duration=scenario.duration)
+    return scenario, specs, dataset
+
+
+@pytest.fixture(scope="module")
+def reference_bytes(small_world):
+    scenario, specs, dataset = small_world
+    return canonical_bytes(
+        analyze_dataset(dataset, specs, train_recon=scenario.train_recon, workers=1)
+    )
+
+
+class TestResolve:
+    def test_names_resolve_to_expected_types(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("thread", workers=4), ThreadExecutor)
+        assert isinstance(resolve_executor("process", workers=2), ProcessExecutor)
+
+    def test_instance_passes_through(self):
+        engine = SerialExecutor()
+        assert resolve_executor(engine) is engine
+
+    def test_legacy_default_matches_workers(self):
+        assert isinstance(resolve_executor(None, workers=1), SerialExecutor)
+        assert isinstance(resolve_executor(None, workers=4), ThreadExecutor)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ExecutorError):
+            resolve_executor("gpu")
+
+    def test_default_name_is_known(self):
+        assert default_executor_name() in EXECUTOR_NAMES
+
+    def test_auto_resolves(self):
+        engine = resolve_executor("auto", workers=2)
+        assert isinstance(engine, (SerialExecutor, ThreadExecutor, ProcessExecutor))
+
+
+class TestBackendEquivalence:
+    """Every backend must produce byte-identical studies.
+
+    The QA oracle pins the same property over fuzzed scenarios; these
+    are the fast deterministic anchors that run on every test pass.
+    """
+
+    @pytest.mark.parametrize(
+        "executor,workers",
+        [
+            ("serial", 1),
+            ("thread", 2),
+            ("thread", 4),
+            ("process", 1),  # degenerate pool: runs in-process
+            ("process", 2),  # real fork/spawn workers + codec transport
+        ],
+    )
+    def test_analyze_dataset_byte_identical(
+        self, small_world, reference_bytes, executor, workers
+    ):
+        scenario, specs, dataset = small_world
+        study = analyze_dataset(
+            dataset,
+            specs,
+            train_recon=scenario.train_recon,
+            workers=workers,
+            executor=executor,
+        )
+        assert canonical_bytes(study) == reference_bytes
+
+    def test_streaming_process_backend_byte_identical(
+        self, small_world, reference_bytes
+    ):
+        scenario, specs, dataset = small_world
+        study = stream_dataset(
+            dataset,
+            specs,
+            shards=2,
+            train_recon=scenario.train_recon,
+            executor=ProcessExecutor(workers=2),
+        )
+        assert canonical_bytes(study) == reference_bytes
+
+    def test_explicit_instance_accepted_by_pipeline(
+        self, small_world, reference_bytes
+    ):
+        scenario, specs, dataset = small_world
+        study = analyze_dataset(
+            dataset,
+            specs,
+            train_recon=scenario.train_recon,
+            executor=ThreadExecutor(workers=3),
+        )
+        assert canonical_bytes(study) == reference_bytes

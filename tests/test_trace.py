@@ -80,7 +80,7 @@ class TestSerialization:
     def test_load_rejects_corrupt_flow_line(self, tmp_path):
         trace = make_trace(1)
         path = tmp_path / "c.jsonl"
-        trace.dump(path)
+        trace.dump(path, fmt="json")
         with path.open("a") as handle:
             handle.write("{broken\n")
         with pytest.raises(TraceFormatError) as excinfo:
@@ -90,7 +90,7 @@ class TestSerialization:
     def test_blank_lines_skipped(self, tmp_path):
         trace = make_trace(1)
         path = tmp_path / "b.jsonl"
-        trace.dump(path)
+        trace.dump(path, fmt="json")
         with path.open("a") as handle:
             handle.write("\n\n")
         assert len(Trace.load(path)) == 1
