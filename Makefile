@@ -10,7 +10,7 @@ FUZZ_SEED ?= 0
 FUZZ_ROUNDS ?= 25
 
 .PHONY: test bench bench-all bench-check bench-stream bench-serve bench-qa \
-	bench-scaling fuzz fuzz-smoke serve clean
+	bench-scaling bench-columnar fuzz fuzz-smoke serve clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -50,6 +50,19 @@ bench-scaling:
 	$(PYTHON) benchmarks/check_regression.py BENCH_scaling.json \
 		--baseline benchmarks/BENCH_scaling.json --tolerance 0.50
 
+# Columnar aggregation engine vs the row-wise reference over a large
+# synthetic study (480 cells, 240k leak events).  Runs without
+# --benchmark-only so the direct acceptance assert executes too:
+# columnar must be >= 5x (recorded number targets >= 10x) and
+# byte-identical; checked against the recorded baseline (first run
+# records it).
+bench-columnar:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/test_bench_columnar.py \
+		--benchmark-json=BENCH_columnar.json -q
+	$(PYTHON) benchmarks/check_regression.py BENCH_columnar.json \
+		--baseline benchmarks/BENCH_columnar.json --tolerance 0.50
+
 # Fuzzing-harness throughput (scenario generation + oracle scenarios/sec).
 bench-qa:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
@@ -85,10 +98,10 @@ bench-all:
 
 # Run the pipeline bench and fail on >20% mean regression against the
 # recorded baseline (benchmarks/BENCH_baseline.json; first run records it).
-bench-check: bench bench-scaling
+bench-check: bench bench-scaling bench-columnar
 	$(PYTHON) benchmarks/check_regression.py BENCH_pipeline.json
 
 clean:
 	rm -f BENCH_pipeline.json BENCH_all.json BENCH_stream.json BENCH_serve.json \
-		BENCH_qa.json BENCH_scaling.json repro-fail-*.json
+		BENCH_qa.json BENCH_scaling.json BENCH_columnar.json repro-fail-*.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -17,9 +17,24 @@ from dataclasses import dataclass, field
 
 from ..core.compare import study_diffs
 from ..core.pipeline import StudyResult
+from . import columnar
 from .stats import cdf_at, cdf_points, pdf_histogram
 
 OSES = ("android", "ios")
+
+
+def _diffs(study, os_name, agg, executor):
+    """Per-service diffs via the requested aggregation path.
+
+    Both paths yield identical :class:`~repro.core.compare.CellDiff`
+    lists (same order, same arithmetic), so every figure is
+    byte-identical under ``rows`` and ``columnar``.
+    """
+    if columnar.wants_columnar(study, agg):
+        return columnar.aggregate_diffs(
+            columnar.ensure_aggregate(study, executor=executor), os_name
+        )
+    return study_diffs(study, os_name)
 
 
 @dataclass
@@ -43,10 +58,11 @@ class FigureSeries:
         return len(self.values)
 
 
-def _cdf_figure(study: StudyResult, figure: str, extractor) -> dict:
+def _cdf_figure(study, figure: str, extractor, agg: str = "rows", executor=None) -> dict:
+    study = columnar.ensure_aggregate(study, executor=executor) if columnar.wants_columnar(study, agg) else study
     out = {}
     for os_name in OSES:
-        values = [extractor(d) for d in study_diffs(study, os_name)]
+        values = [extractor(d) for d in _diffs(study, os_name, agg, executor)]
         out[os_name] = FigureSeries(
             figure=figure,
             os_name=os_name,
@@ -57,31 +73,32 @@ def _cdf_figure(study: StudyResult, figure: str, extractor) -> dict:
     return out
 
 
-def fig1a(study: StudyResult) -> dict:
+def fig1a(study, agg: str = "rows", executor=None) -> dict:
     """(App − Web) A&A domains contacted, per OS."""
-    return _cdf_figure(study, "1a", lambda d: d.aa_domains)
+    return _cdf_figure(study, "1a", lambda d: d.aa_domains, agg=agg, executor=executor)
 
 
-def fig1b(study: StudyResult) -> dict:
+def fig1b(study, agg: str = "rows", executor=None) -> dict:
     """(App − Web) flows to A&A domains, per OS."""
-    return _cdf_figure(study, "1b", lambda d: d.aa_flows)
+    return _cdf_figure(study, "1b", lambda d: d.aa_flows, agg=agg, executor=executor)
 
 
-def fig1c(study: StudyResult) -> dict:
+def fig1c(study, agg: str = "rows", executor=None) -> dict:
     """(App − Web) MB of traffic to A&A domains, per OS."""
-    return _cdf_figure(study, "1c", lambda d: d.aa_megabytes)
+    return _cdf_figure(study, "1c", lambda d: d.aa_megabytes, agg=agg, executor=executor)
 
 
-def fig1d(study: StudyResult) -> dict:
+def fig1d(study, agg: str = "rows", executor=None) -> dict:
     """(App − Web) count of domains receiving PII, per OS."""
-    return _cdf_figure(study, "1d", lambda d: d.leak_domains)
+    return _cdf_figure(study, "1d", lambda d: d.leak_domains, agg=agg, executor=executor)
 
 
-def fig1e(study: StudyResult) -> dict:
+def fig1e(study, agg: str = "rows", executor=None) -> dict:
     """PDF of (App − Web) distinct leaked identifier counts, per OS."""
+    study = columnar.ensure_aggregate(study, executor=executor) if columnar.wants_columnar(study, agg) else study
     out = {}
     for os_name in OSES:
-        values = [d.leak_identifiers for d in study_diffs(study, os_name)]
+        values = [d.leak_identifiers for d in _diffs(study, os_name, agg, executor)]
         out[os_name] = FigureSeries(
             figure="1e",
             os_name=os_name,
@@ -92,17 +109,18 @@ def fig1e(study: StudyResult) -> dict:
     return out
 
 
-def fig1f(study: StudyResult) -> dict:
+def fig1f(study, agg: str = "rows", executor=None) -> dict:
     """CDF of the Jaccard index of leaked identifier sets, per OS.
 
     Services with no leaks on either medium (Jaccard of two empty sets)
     are excluded, matching a plot of observed leak overlap.
     """
+    study = columnar.ensure_aggregate(study, executor=executor) if columnar.wants_columnar(study, agg) else study
     out = {}
     for os_name in OSES:
         values = [
             d.jaccard_identifiers
-            for d in study_diffs(study, os_name)
+            for d in _diffs(study, os_name, agg, executor)
             if d.app_leak_types or d.web_leak_types
         ]
         out[os_name] = FigureSeries(

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from ..core.pipeline import StudyResult
 from ..experiment.dataset import APP, WEB
+from . import columnar
 
 
 @dataclass(frozen=True)
@@ -56,12 +57,32 @@ def _medium_metrics(result, medium):
     return types, aa_domains, events
 
 
-def diff_studies(before: StudyResult, after: StudyResult) -> list:
+def _medium_metrics_columnar(cells, medium):
+    """Columnar twin of :func:`_medium_metrics` over CellAggregates —
+    unions and counts only, so shard merges cannot change it."""
+    types: set = set()
+    aa_domains: set = set()
+    events = 0
+    for cell in cells:
+        if cell.medium != medium:
+            continue
+        types |= cell.leak_types
+        aa_domains |= cell.aa_domains
+        events += cell.leak_events
+    return types, aa_domains, events
+
+
+def diff_studies(before, after, agg: str = "rows", executor=None) -> list:
     """Per-service, per-medium drift between two snapshots.
 
     Services present in only one study are skipped — the comparison is
     about behavioural change, not catalog churn.
     """
+    if columnar.wants_columnar(before, agg) or columnar.wants_columnar(after, agg):
+        return _diff_studies_columnar(
+            columnar.ensure_aggregate(before, executor=executor),
+            columnar.ensure_aggregate(after, executor=executor),
+        )
     before_by_slug = {r.spec.slug: r for r in before.services}
     drifts = []
     for result in after.services:
@@ -84,6 +105,31 @@ def diff_studies(before: StudyResult, after: StudyResult) -> list:
     return drifts
 
 
+def _diff_studies_columnar(before, after) -> list:
+    before_cells = before.cells_by_service()
+    after_cells = after.cells_by_service()
+    drifts = []
+    for meta in after.ordered_services():
+        if meta.slug not in before.services:
+            continue
+        olds = before_cells.get(meta.slug, ())
+        news = after_cells.get(meta.slug, ())
+        for medium in (APP, WEB):
+            old_types, old_domains, old_events = _medium_metrics_columnar(olds, medium)
+            new_types, new_domains, new_events = _medium_metrics_columnar(news, medium)
+            drifts.append(
+                ServiceDrift(
+                    service=meta.slug,
+                    medium=medium,
+                    types_added=frozenset(new_types - old_types),
+                    types_removed=frozenset(old_types - new_types),
+                    aa_domains_delta=len(new_domains) - len(old_domains),
+                    leak_events_delta=new_events - old_events,
+                )
+            )
+    return drifts
+
+
 @dataclass
 class DriftSummary:
     """Headline counts for a landscape-evolution report."""
@@ -95,8 +141,8 @@ class DriftSummary:
     drifts: list = field(default_factory=list)
 
 
-def summarize_drift(before: StudyResult, after: StudyResult) -> DriftSummary:
-    drifts = diff_studies(before, after)
+def summarize_drift(before, after, agg: str = "rows", executor=None) -> DriftSummary:
+    drifts = diff_studies(before, after, agg=agg, executor=executor)
     by_service: dict = {}
     for drift in drifts:
         by_service.setdefault(drift.service, []).append(drift)

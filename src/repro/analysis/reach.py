@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from ..core.pipeline import StudyResult
 from ..experiment.dataset import APP, WEB
 from ..pii.types import PiiType
+from . import columnar
 
 # Identifier classes stable across media for the same user; a tracker
 # holding one of these from both the app and the web side can join the
@@ -70,13 +71,22 @@ class TrackerReach:
         return bool(self.join_keys)
 
 
-def tracker_reach(study: StudyResult) -> dict:
+def tracker_reach(study, agg: str = "rows", executor=None) -> dict:
     """Compute :class:`TrackerReach` for every A&A domain in a study."""
+    if columnar.wants_columnar(study, agg):
+        return _tracker_reach_columnar(
+            columnar.ensure_aggregate(study, executor=executor)
+        )
     reaches: dict = {}
     for result in study.services:
         slug = result.spec.slug
         for (os_name, medium), analysis in result.sessions.items():
-            for domain in analysis.aa_domains:
+            # Sorted, not raw set iteration: entry creation order is
+            # dict insertion order, which summarize_reach's max() and
+            # render_reach's stable sort break ties by — raw iteration
+            # would make those ties vary with PYTHONHASHSEED (same fix
+            # as Table 2's domain loop).
+            for domain in sorted(analysis.aa_domains):
                 entry = reaches.get(domain)
                 if entry is None:
                     entry = reaches[domain] = TrackerReach(domain=domain)
@@ -92,6 +102,31 @@ def tracker_reach(study: StudyResult) -> dict:
     return reaches
 
 
+def _tracker_reach_columnar(agg) -> dict:
+    """Columnar twin of :func:`tracker_reach`.
+
+    Replays cells in the row-wise iteration order (the aggregate's
+    per-cell ``order``): a leak recipient only accrues identifier types
+    once the domain has already appeared as an A&A contact in the same
+    or an earlier cell — the reference path's entry-creation rule.
+    """
+    reaches: dict = {}
+    for cell in agg.ordered_cells():
+        slug = cell.service
+        medium = cell.medium
+        for domain in sorted(cell.aa_domains):
+            entry = reaches.get(domain)
+            if entry is None:
+                entry = reaches[domain] = TrackerReach(domain=domain)
+            (entry.services_app if medium == APP else entry.services_web).add(slug)
+        for (domain, host, pii), count in cell.leak_groups.items():
+            entry = reaches.get(domain)
+            if entry is None:
+                continue  # non-A&A recipient (identity providers)
+            (entry.types_app if medium == APP else entry.types_web).add(pii)
+    return reaches
+
+
 @dataclass
 class ReachSummary:
     """Study-wide cross-platform tracking picture."""
@@ -104,9 +139,9 @@ class ReachSummary:
     max_reach: int
 
 
-def summarize_reach(study: StudyResult) -> ReachSummary:
+def summarize_reach(study, agg: str = "rows", executor=None) -> ReachSummary:
     """Aggregate the per-tracker picture into the §4.2 headline claims."""
-    reaches = tracker_reach(study)
+    reaches = tracker_reach(study, agg=agg, executor=executor)
     if not reaches:
         raise ValueError("study produced no A&A exposure to summarize")
     cross = [r for r in reaches.values() if r.services_both]
@@ -125,9 +160,12 @@ def summarize_reach(study: StudyResult) -> ReachSummary:
     )
 
 
-def render_reach(study: StudyResult, top: int = 15) -> str:
+def render_reach(study, top: int = 15, agg: str = "rows", executor=None) -> str:
     """Text table of the highest-reach trackers."""
-    reaches = sorted(tracker_reach(study).values(), key=lambda r: -r.reach)[:top]
+    reaches = sorted(
+        tracker_reach(study, agg=agg, executor=executor).values(),
+        key=lambda r: -r.reach,
+    )[:top]
     header = (
         f"{'A&A Domain':24s} {'reach':>5s} {'app':>4s} {'web':>4s} {'both':>4s} "
         f"{'app-only types':16s} {'join keys'}"

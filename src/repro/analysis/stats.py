@@ -35,11 +35,160 @@ def std(values: Sequence) -> float:
     if not values:
         raise ValueError("std of empty sequence")
     mu = mean(values)
-    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+    # fsum, like mean: the two functions must agree on accumulation
+    # error, or mean/std of the same long run of repeated floats drift
+    # apart (squares are non-negative, so a naive sum silently drops
+    # small terms once the running total grows).
+    return math.sqrt(math.fsum((v - mu) ** 2 for v in values) / len(values))
 
 
 def mean_std(values: Sequence) -> tuple:
     return (mean(values), std(values))
+
+
+def _partials_add(partials: list, value: float) -> None:
+    """Fold ``value`` into a Shewchuk partials list (``math.fsum``'s
+    algorithm): the list always holds non-overlapping floats whose exact
+    mathematical sum equals the exact sum of everything folded in, so
+    the collapsed (correctly rounded) total is independent of both
+    accumulation and merge order.  Finite inputs only.
+    """
+    x = value
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
+class Moments:
+    """Mergeable count/fsum/fsum-of-squares accumulator (plus min/max).
+
+    The building block of the columnar partial aggregates
+    (:mod:`repro.analysis.columnar`): shards fold values in
+    independently, then :meth:`merge` combines shard accumulators
+    *exactly* — sums are kept as Shewchuk partials, so for any split of
+    the input into shards and any merge tree the collapsed sums (hence
+    :meth:`mean`) are bit-identical to a single-pass ``math.fsum``.
+
+    :meth:`mean` equals :func:`mean` exactly (same fsum + clamp).
+    :meth:`std` is the one-pass ``E[x^2] - mu^2`` form: both sums are
+    exactly rounded, but the subtraction can cancel, so it agrees with
+    the two-pass :func:`std` only to within a few ulps of ``E[x^2]`` —
+    callers that must be byte-identical to the two-pass reference (the
+    tables) keep the raw values and call :func:`mean_std` instead.
+    """
+
+    __slots__ = ("count", "_sum", "_sumsq", "_min", "_max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._sum: list = []
+        self._sumsq: list = []
+        self._min = None
+        self._max = None
+
+    @classmethod
+    def from_values(cls, values: Iterable) -> "Moments":
+        moments = cls()
+        for value in values:
+            moments.add(value)
+        return moments
+
+    def add(self, value) -> None:
+        v = float(value)
+        self.count += 1
+        _partials_add(self._sum, v)
+        _partials_add(self._sumsq, v * v)
+        if self._min is None or v < self._min:
+            self._min = v
+        if self._max is None or v > self._max:
+            self._max = v
+
+    def merge(self, other: "Moments") -> "Moments":
+        """Combined accumulator (associative, commutative, exact)."""
+        merged = Moments()
+        merged.count = self.count + other.count
+        merged._sum = list(self._sum)
+        merged._sumsq = list(self._sumsq)
+        for x in other._sum:
+            _partials_add(merged._sum, x)
+        for x in other._sumsq:
+            _partials_add(merged._sumsq, x)
+        mins = [m for m in (self._min, other._min) if m is not None]
+        maxs = [m for m in (self._max, other._max) if m is not None]
+        merged._min = min(mins) if mins else None
+        merged._max = max(maxs) if maxs else None
+        return merged
+
+    def sum(self) -> float:
+        return math.fsum(self._sum)
+
+    def sumsq(self) -> float:
+        return math.fsum(self._sumsq)
+
+    def mean(self) -> float:
+        if not self.count:
+            raise ValueError("mean of empty accumulator")
+        mu = self.sum() / self.count
+        if mu < self._min:
+            return self._min
+        if mu > self._max:
+            return self._max
+        return mu
+
+    def variance(self) -> float:
+        """Population variance, one-pass form (clamped at zero)."""
+        if not self.count:
+            raise ValueError("variance of empty accumulator")
+        total = self.sum()
+        return max(0.0, (self.sumsq() - total * total / self.count) / self.count)
+
+    def std(self) -> float:
+        return math.sqrt(self.variance())
+
+    def to_dict(self) -> dict:
+        """Exact serialized form (IPC-safe): partials lists included,
+        so a round-trip loses no precision and later merges stay exact."""
+        return {
+            "count": self.count,
+            "sum": list(self._sum),
+            "sumsq": list(self._sumsq),
+            "min": self._min,
+            "max": self._max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Moments":
+        moments = cls()
+        moments.count = data["count"]
+        moments._sum = list(data["sum"])
+        moments._sumsq = list(data["sumsq"])
+        moments._min = data["min"]
+        moments._max = data["max"]
+        return moments
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Moments):
+            return NotImplemented
+        return (
+            self.count == other.count
+            and self.sum() == other.sum()
+            and self.sumsq() == other.sumsq()
+            and self._min == other._min
+            and self._max == other._max
+        )
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "<Moments empty>"
+        return f"<Moments n={self.count} mean={self.mean():.6g} std={self.std():.6g}>"
 
 
 def format_mean_std(values: Sequence, precision: int = 1) -> str:

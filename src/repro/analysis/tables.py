@@ -14,6 +14,13 @@ Conventions (reverse-engineered from the published numbers):
   of two services leaking — an all-services average would halve it);
 - Table 2 counts services *contacting* an A&A domain, while its leak
   and identifier columns count actual PII receipts.
+
+Every generator takes ``agg={"rows","columnar","auto"}``: ``rows`` is
+the reference object-graph walk, ``columnar`` reduces a
+:class:`~repro.analysis.columnar.StudyAggregate` instead (a ready
+aggregate may also be passed as ``study`` directly).  Both paths build
+rows through the same shared builders, so output is byte-identical —
+pinned by ``tests/test_columnar.py`` and the QA oracle.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from ..experiment.dataset import APP, WEB
 from ..pii.types import TABLE1_ORDER, PiiType
 from ..trackerdb.easylist import bundled_easylist
 from ..trackerdb.psl import domain_key
+from . import columnar
 from .stats import format_mean_std, mean_std
 
 CATEGORY_ORDER = (
@@ -86,8 +94,34 @@ def _medium_types(result: ServiceResult, medium: str, os_name: str = None) -> se
     return types
 
 
+def _finish_table1_row(
+    group: str,
+    medium: str,
+    n: int,
+    rank_sum,
+    leaking: int,
+    leak_domain_counts: list,
+    identifiers: set,
+) -> Table1Row:
+    """Shared tail of both aggregation paths: identical arithmetic on
+    identical inputs keeps rows/columnar byte-identical."""
+    if leak_domain_counts:
+        mu, sigma = mean_std(leak_domain_counts)
+    else:
+        mu = sigma = 0.0
+    return Table1Row(
+        group=group,
+        medium=medium,
+        n_services=n,
+        avg_rank=rank_sum / n if n else 0.0,
+        pct_leaking=100.0 * leaking / n if n else 0.0,
+        domains_mean=mu,
+        domains_std=sigma,
+        identifiers=identifiers,
+    )
+
+
 def _row(group: str, medium: str, results: list, os_name: str = None) -> Table1Row:
-    n = len(results)
     leak_domain_counts = []
     identifiers: set = set()
     leaking = 0
@@ -98,24 +132,72 @@ def _row(group: str, medium: str, results: list, os_name: str = None) -> Table1R
             leaking += 1
             leak_domain_counts.append(len(domains))
             identifiers |= types
-    if leak_domain_counts:
-        mu, sigma = mean_std(leak_domain_counts)
-    else:
-        mu = sigma = 0.0
-    return Table1Row(
-        group=group,
-        medium=medium,
-        n_services=n,
-        avg_rank=sum(r.spec.rank for r in results) / n if n else 0.0,
-        pct_leaking=100.0 * leaking / n if n else 0.0,
-        domains_mean=mu,
-        domains_std=sigma,
-        identifiers=identifiers,
+    return _finish_table1_row(
+        group,
+        medium,
+        len(results),
+        sum(r.spec.rank for r in results),
+        leaking,
+        leak_domain_counts,
+        identifiers,
     )
 
 
-def table1(study: StudyResult) -> list:
+def _row_columnar(group: str, medium: str, members: list, os_name: str = None) -> Table1Row:
+    """Columnar twin of :func:`_row` over (meta, cells) members."""
+    leak_domain_counts = []
+    identifiers: set = set()
+    leaking = 0
+    for meta, cells in members:
+        domains: set = set()
+        types: set = set()
+        for cell in cells:
+            if cell.medium != medium:
+                continue
+            if os_name is not None and cell.os_name != os_name:
+                continue
+            domains |= cell.leak_domains
+            types |= cell.leak_types
+        if types:
+            leaking += 1
+            leak_domain_counts.append(len(domains))
+            identifiers |= types
+    return _finish_table1_row(
+        group,
+        medium,
+        len(members),
+        sum(meta.rank for meta, _ in members),
+        leaking,
+        leak_domain_counts,
+        identifiers,
+    )
+
+
+def _table1_columnar(agg) -> list:
+    by_service = agg.cells_by_service()
+    members = [
+        (meta, by_service.get(meta.slug, ())) for meta in agg.ordered_services()
+    ]
+    rows = []
+    for medium in (APP, WEB):
+        rows.append(_row_columnar("All", medium, members))
+    for os_name, label in (("android", "Android"), ("ios", "iOS")):
+        tested = [m for m in members if os_name in m[0].oses]
+        for medium in (APP, WEB):
+            rows.append(_row_columnar(label, medium, tested, os_name=os_name))
+    for category in CATEGORY_ORDER:
+        group = [m for m in members if m[0].category == category]
+        if not group:
+            continue
+        for medium in (APP, WEB):
+            rows.append(_row_columnar(category, medium, group))
+    return rows
+
+
+def table1(study, agg: str = "rows", executor=None) -> list:
     """Generate every row of Table 1 in presentation order."""
+    if columnar.wants_columnar(study, agg):
+        return _table1_columnar(columnar.ensure_aggregate(study, executor=executor))
     rows = []
     all_results = study.services
     for medium in (APP, WEB):
@@ -180,25 +262,10 @@ class Table2Row:
         )
 
 
-def table2(study: StudyResult, top: int = 20) -> list:
-    """Top A&A domains by total leaks received."""
-    easylist = bundled_easylist()
-    contact: dict = defaultdict(lambda: {APP: set(), WEB: set()})
-    leaks: dict = defaultdict(lambda: {APP: defaultdict(int), WEB: defaultdict(int)})
-    identifiers: dict = defaultdict(lambda: {APP: set(), WEB: set()})
-
-    for result in study.services:
-        page_host = result.spec.domain
-        for (os_name, medium), analysis in result.sessions.items():
-            for domain in analysis.aa_domains:
-                contact[domain][medium].add(result.spec.slug)
-            for record in analysis.leaks:
-                domain = record.domain
-                if not easylist.matches(f"https://{record.observation.hostname}/", page_host=page_host):
-                    continue
-                leaks[domain][medium][result.spec.slug] += 1
-                identifiers[domain][medium].add(record.pii_type)
-
+def _table2_rows(contact: dict, leaks: dict, identifiers: dict, top: int) -> list:
+    """Shared row builder over the three (domain, medium) maps; both
+    aggregation paths produce identical maps, so sorting, tie-breaking,
+    and the top-N cut are shared verbatim."""
     rows = []
     # Sorted, not raw set iteration: the tie rows below would
     # otherwise land in string-hash order and the top-N cut would
@@ -233,6 +300,56 @@ def table2(study: StudyResult, top: int = 20) -> list:
         )
     )
     return rows[:top]
+
+
+def _table2_columnar(agg, top: int) -> list:
+    easylist = bundled_easylist()
+    contact: dict = defaultdict(lambda: {APP: set(), WEB: set()})
+    leaks: dict = defaultdict(lambda: {APP: defaultdict(int), WEB: defaultdict(int)})
+    identifiers: dict = defaultdict(lambda: {APP: set(), WEB: set()})
+
+    services = agg.services
+    for cell in agg.ordered_cells():
+        slug = cell.service
+        medium = cell.medium
+        page_host = services[slug].domain
+        for domain in cell.aa_domains:
+            contact[domain][medium].add(slug)
+        # One EasyList verdict per unique (hostname, page_host) group —
+        # the rows path asks per event, but the verdict is a pure
+        # function of those two strings, so grouped counts are exact.
+        for (domain, host, pii), count in cell.leak_groups.items():
+            if not easylist.matches(f"https://{host}/", page_host=page_host):
+                continue
+            leaks[domain][medium][slug] += count
+            identifiers[domain][medium].add(pii)
+    return _table2_rows(contact, leaks, identifiers, top)
+
+
+def table2(study, top: int = 20, agg: str = "rows", executor=None) -> list:
+    """Top A&A domains by total leaks received."""
+    if columnar.wants_columnar(study, agg):
+        return _table2_columnar(
+            columnar.ensure_aggregate(study, executor=executor), top
+        )
+    easylist = bundled_easylist()
+    contact: dict = defaultdict(lambda: {APP: set(), WEB: set()})
+    leaks: dict = defaultdict(lambda: {APP: defaultdict(int), WEB: defaultdict(int)})
+    identifiers: dict = defaultdict(lambda: {APP: set(), WEB: set()})
+
+    for result in study.services:
+        page_host = result.spec.domain
+        for (os_name, medium), analysis in result.sessions.items():
+            for domain in analysis.aa_domains:
+                contact[domain][medium].add(result.spec.slug)
+            for record in analysis.leaks:
+                domain = record.domain
+                if not easylist.matches(f"https://{record.observation.hostname}/", page_host=page_host):
+                    continue
+                leaks[domain][medium][result.spec.slug] += 1
+                identifiers[domain][medium].add(record.pii_type)
+
+    return _table2_rows(contact, leaks, identifiers, top)
 
 
 def render_table2(rows: list) -> str:
@@ -272,9 +389,8 @@ class Table3Row:
     total_leaks: int
 
 
-def table3(study: StudyResult) -> list:
-    """Per-PII-type aggregation, sorted by total leaks."""
-    per_type: dict = {
+def _table3_buckets() -> dict:
+    return {
         pii_type: {
             "svc": {APP: set(), WEB: set()},
             "leaks": {APP: defaultdict(int), WEB: defaultdict(int)},
@@ -282,6 +398,13 @@ def table3(study: StudyResult) -> list:
         }
         for pii_type in PiiType
     }
+
+
+def table3(study, agg: str = "rows", executor=None) -> list:
+    """Per-PII-type aggregation, sorted by total leaks."""
+    if columnar.wants_columnar(study, agg):
+        return _table3_columnar(columnar.ensure_aggregate(study, executor=executor))
+    per_type = _table3_buckets()
     for result in study.services:
         slug = result.spec.slug
         for (os_name, medium), analysis in result.sessions.items():
@@ -290,7 +413,26 @@ def table3(study: StudyResult) -> list:
                 bucket["svc"][medium].add(slug)
                 bucket["leaks"][medium][slug] += 1
                 bucket["domains"][medium].add(record.domain)
+    return _table3_rows(per_type)
 
+
+def _table3_columnar(agg) -> list:
+    per_type = _table3_buckets()
+    for cell in agg.ordered_cells():
+        slug = cell.service
+        medium = cell.medium
+        for (domain, host, pii), count in cell.leak_groups.items():
+            bucket = per_type[pii]
+            bucket["svc"][medium].add(slug)
+            bucket["leaks"][medium][slug] += count
+            bucket["domains"][medium].add(domain)
+    return _table3_rows(per_type)
+
+
+def _table3_rows(per_type: dict) -> list:
+    """Shared row builder: iterates the :class:`PiiType` buckets in
+    enum-declaration order in both paths, so stable tie order under the
+    total-leaks sort is identical."""
     rows = []
     for pii_type, bucket in per_type.items():
         app_services = bucket["svc"][APP]

@@ -55,6 +55,30 @@ def _build_study(args):
     )
 
 
+def _add_agg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--agg",
+        choices=["auto", "columnar", "rows"],
+        default="auto",
+        help="aggregation engine for tables/figures/reach: 'columnar' "
+        "reduces struct-packed batches from the binary codec (the fast "
+        "path; 'auto' picks it), 'rows' walks the per-session object "
+        "graph (the reference). Output is byte-identical either way.",
+    )
+
+
+def _study_view(study, args):
+    """Apply ``--agg``: the study itself (rows) or its columnar
+    aggregate, computed once and shared by every consumer below."""
+    from .analysis import columnar
+
+    if columnar.resolve_agg(getattr(args, "agg", "rows")) == "rows":
+        return study
+    return columnar.study_aggregate(
+        study, executor=getattr(args, "executor", None)
+    )
+
+
 def _add_executor(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--executor",
@@ -87,6 +111,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "identical for any value)",
     )
     _add_executor(parser)
+    _add_agg(parser)
     parser.add_argument(
         "--cache-dir",
         help="persistent incremental-analysis cache directory: campaign, "
@@ -96,31 +121,31 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_run(args) -> int:
-    study = _build_study(args)
-    print(render_table1(table1(study)))
+    view = _study_view(_build_study(args), args)
+    print(render_table1(table1(view)))
     print()
-    print(render_table2(table2(study)))
+    print(render_table2(table2(view)))
     print()
-    print(render_table3(table3(study)))
+    print(render_table3(table3(view)))
     return 0
 
 
 def cmd_tables(args) -> int:
-    study = _build_study(args)
+    view = _study_view(_build_study(args), args)
     renderers = {"1": (table1, render_table1), "2": (table2, render_table2), "3": (table3, render_table3)}
     if args.table not in renderers:
         raise SystemExit(f"unknown table {args.table!r} (choose 1, 2, or 3)")
     generate, render = renderers[args.table]
-    print(render(generate(study)))
+    print(render(generate(view)))
     return 0
 
 
 def cmd_figure(args) -> int:
-    study = _build_study(args)
+    view = _study_view(_build_study(args), args)
     generator = ALL_FIGURES.get(args.figure)
     if generator is None:
         raise SystemExit(f"unknown figure {args.figure!r} (choose {sorted(ALL_FIGURES)})")
-    for os_name, series in generator(study).items():
+    for os_name, series in generator(view).items():
         print(render_series(series))
         print()
     return 0
@@ -161,8 +186,8 @@ def cmd_recommend(args) -> int:
 def cmd_report(args) -> int:
     from .analysis.report import render_markdown
 
-    study = _build_study(args)
-    print(render_markdown(study, seed=args.seed, duration=args.duration))
+    view = _study_view(_build_study(args), args)
+    print(render_markdown(view, seed=args.seed, duration=args.duration))
     return 0
 
 
@@ -202,9 +227,10 @@ def cmd_analyze(args) -> int:
         executor=getattr(args, "executor", None),
         cache=cache,
     )
-    print(render_table1(table1(study)))
+    view = _study_view(study, args)
+    print(render_table1(table1(view)))
     print()
-    print(render_table3(table3(study)))
+    print(render_table3(table3(view)))
     return 0
 
 
@@ -245,9 +271,10 @@ def cmd_stream(args) -> int:
             executor=args.executor,
         )
         stats = throughput = None
-    print(render_table1(table1(study)))
+    view = _study_view(study, args)
+    print(render_table1(table1(view)))
     print()
-    print(render_table3(table3(study)))
+    print(render_table3(table3(view)))
     if stats is not None:
         print()
         print(
@@ -337,9 +364,9 @@ def cmd_blocking(args) -> int:
 def cmd_reach(args) -> int:
     from .analysis.reach import render_reach, summarize_reach
 
-    study = _build_study(args)
-    print(render_reach(study))
-    summary = summarize_reach(study)
+    view = _study_view(_build_study(args), args)
+    print(render_reach(view))
+    summary = summarize_reach(view)
     print(
         f"\n{summary.trackers} A&A domains observed; "
         f"{summary.cross_platform_trackers} present on both media; "
@@ -552,6 +579,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="analysis workers (results are identical for any value)",
     )
     _add_executor(analyze_parser)
+    _add_agg(analyze_parser)
     analyze_parser.add_argument(
         "--cache-dir",
         help="persistent per-session analysis cache (content-addressed; "

@@ -57,6 +57,39 @@ class SessionAnalysis:
     def aa_megabytes(self) -> float:
         return self.aa_bytes / 1_000_000.0
 
+    def merge(self, other: "SessionAnalysis") -> "SessionAnalysis":
+        """Combine two partial analyses of the *same* cell.
+
+        Counters add, domain sets union, and leak lists concatenate in
+        operand order — every field combine is associative, so folding
+        shard partials in any grouping yields the same result (pinned
+        in ``tests/test_stream_merge.py``).  Neither operand is
+        mutated.
+        """
+        if (self.service, self.os_name, self.medium) != (
+            other.service,
+            other.os_name,
+            other.medium,
+        ):
+            raise ValueError(
+                f"cannot merge cell ({other.service}, {other.os_name}, "
+                f"{other.medium}) into ({self.service}, {self.os_name}, "
+                f"{self.medium})"
+            )
+        return SessionAnalysis(
+            service=self.service,
+            os_name=self.os_name,
+            medium=self.medium,
+            flows_total=self.flows_total + other.flows_total,
+            aa_domains=self.aa_domains | other.aa_domains,
+            aa_flows=self.aa_flows + other.aa_flows,
+            aa_bytes=self.aa_bytes + other.aa_bytes,
+            third_party_domains=self.third_party_domains | other.third_party_domains,
+            leaks=self.leaks + other.leaks,
+            recon_false_positives=self.recon_false_positives
+            + other.recon_false_positives,
+        )
+
     def to_dict(self) -> dict:
         """JSON-safe form (used by streaming checkpoints and exports)."""
         return {

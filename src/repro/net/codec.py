@@ -52,6 +52,7 @@ VERSION = 1
 
 KIND_TRACE = 1
 KIND_RECORD = 2
+KIND_ABATCH = 3  # columnar analysis batch (repro.analysis.columnar)
 
 HEADER_SIZE = len(MAGIC) + 2  # magic + version byte + kind byte
 
@@ -433,6 +434,21 @@ def record_content_hash(record) -> str:
 
 def _header(kind: int) -> bytes:
     return MAGIC + bytes((VERSION, kind))
+
+
+def frame(kind: int, payload: bytes) -> bytes:
+    """Wrap a bare payload in the versioned magic header."""
+    return _header(kind) + payload
+
+
+def unframe(data: bytes, kind: int, source="<bytes>") -> bytes:
+    """Strip and validate the header, returning the bare payload.
+
+    Raises :class:`CodecError` on foreign magic, unsupported version,
+    or a payload kind other than ``kind`` — same strictness the typed
+    readers (:func:`read_trace`, :func:`read_record`) apply.
+    """
+    return _check_header(data, kind, source)
 
 
 def is_binary(prefix: bytes) -> bool:

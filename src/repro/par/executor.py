@@ -59,6 +59,10 @@ class Executor:
         """Deferred re-scan per record -> ``list[(leaks, false_positives)]``."""
         raise NotImplementedError
 
+    def map_aggregate(self, blobs: list) -> list:
+        """Columnar kernel per batch blob -> ``list[StudyAggregate]``."""
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} workers={self.workers}>"
 
@@ -94,6 +98,11 @@ class SerialExecutor(Executor):
             for record in records
         ]
 
+    def map_aggregate(self, blobs: list) -> list:
+        from ..analysis.columnar import aggregate_blob
+
+        return [aggregate_blob(blob) for blob in blobs]
+
 
 class ThreadExecutor(Executor):
     """Thread-pool backend (the pre-existing ``workers=N`` behavior)."""
@@ -128,6 +137,11 @@ class ThreadExecutor(Executor):
             lambda record: rescan_session(record, by_slug[record.service], recon=recon),
             records,
         )
+
+    def map_aggregate(self, blobs: list) -> list:
+        from ..analysis.columnar import aggregate_blob
+
+        return self._map(aggregate_blob, blobs)
 
 
 def _mp_context():
@@ -186,6 +200,24 @@ class ProcessExecutor(Executor):
             )
             for payload in payloads
         ]
+
+    def map_aggregate(self, blobs: list) -> list:
+        from ..analysis.columnar import StudyAggregate, aggregate_blob
+
+        if not blobs:
+            return []
+        workers = min(self.workers, len(blobs))
+        if workers <= 1:
+            # Same degenerate-pool shortcut as _run: skip IPC entirely.
+            return [aggregate_blob(blob) for blob in blobs]
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_mp_context(),
+        ) as pool:
+            return [
+                StudyAggregate.from_dict(payload)
+                for payload in pool.map(tasks.aggregate_batch_blob, blobs)
+            ]
 
 
 def default_executor_name() -> str:

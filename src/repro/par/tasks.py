@@ -61,3 +61,13 @@ def rescan_blob(blob: bytes) -> dict:
         "leaks": [leak.to_dict() for leak in leaks],
         "recon_false_positives": false_positives,
     }
+
+
+def aggregate_batch_blob(blob: bytes) -> dict:
+    """Columnar kernel over one batch blob; returns the exact
+    (partials-preserving) ``StudyAggregate.to_dict()`` form, so merging
+    the shipped partials in the parent stays bit-identical to an
+    in-process reduction.  Context-free: the blob is self-contained."""
+    from ..analysis.columnar import aggregate_blob
+
+    return aggregate_blob(blob).to_dict()

@@ -121,6 +121,18 @@ def _diff(left, right, path):
     return None
 
 
+def _first_divergent_line(expected: str, actual: str):
+    """First differing line of two rendered texts (for render pins)."""
+    left = expected.splitlines()
+    right = actual.splitlines()
+    for index in range(max(len(left), len(right))):
+        want = left[index] if index < len(left) else "<missing>"
+        got = right[index] if index < len(right) else "<missing>"
+        if want != got:
+            return (f"line {index}: {want}"[:200], f"line {index}: {got}"[:200])
+    return (repr(expected)[:200], repr(actual)[:200])
+
+
 def _match_signature(matches) -> tuple:
     """Order-independent fingerprint of a matcher result."""
     return tuple(
@@ -193,6 +205,82 @@ def run_oracle(scenario: Scenario, mutators=None, executors=("process",)) -> Ora
             dataset, specs, shards=shards, train_recon=scenario.train_recon
         )
         check_study(f"stream[shards={shards}]", streamed, "stream")
+
+    # -- columnar aggregation engine ----------------------------------------
+    # Two pins per seed: (a) sharded partial-aggregate merges equal the
+    # single-batch aggregate in any merge order; (b) every consumer's
+    # columnar rendering is byte-identical to the row-wise reference.
+    from ..analysis import columnar
+    from ..analysis.figures import fig1e, render_series
+    from ..analysis.longitudinal import render_drift, summarize_drift
+    from ..analysis.reach import render_reach
+    from ..analysis.tables import (
+        render_table1,
+        render_table2,
+        render_table3,
+        table1,
+        table2,
+        table3,
+    )
+
+    stats["columnar_checks"] = 0
+
+    def check_columnar_bytes(component, expected_payload, actual_payload):
+        stats["columnar_checks"] += 1
+        if actual_payload != expected_payload:
+            path, want, got = first_divergent_field(expected_payload, actual_payload)
+            divergences.append(Divergence(component, path, want, got))
+
+    def check_columnar_text(component, expected_text, actual_text):
+        stats["columnar_checks"] += 1
+        actual_text = mutate("columnar", actual_text)
+        if actual_text != expected_text:
+            want, got = _first_divergent_line(expected_text, actual_text)
+            divergences.append(Divergence(component, "<render>", want, got))
+
+    whole = columnar.study_aggregate(reference, shards=1)
+    partials = columnar.shard_aggregates(reference, shards=3)
+    agg_expected = whole.canonical_bytes()
+    check_columnar_bytes(
+        "columnar[merge shards=3]",
+        agg_expected,
+        columnar.merge_aggregates(partials).canonical_bytes(),
+    )
+    check_columnar_bytes(
+        "columnar[merge reversed]",
+        agg_expected,
+        columnar.merge_aggregates(partials[::-1]).canonical_bytes(),
+    )
+
+    check_columnar_text(
+        "columnar[table1]",
+        render_table1(table1(reference)),
+        render_table1(table1(whole)),
+    )
+    check_columnar_text(
+        "columnar[table2]",
+        render_table2(table2(reference)),
+        render_table2(table2(whole)),
+    )
+    check_columnar_text(
+        "columnar[table3]",
+        render_table3(table3(reference)),
+        render_table3(table3(whole)),
+    )
+    for os_name, series in fig1e(reference).items():
+        check_columnar_text(
+            f"columnar[fig1e:{os_name}]",
+            render_series(series),
+            render_series(fig1e(whole)[os_name]),
+        )
+    check_columnar_text(
+        "columnar[reach]", render_reach(reference), render_reach(whole)
+    )
+    check_columnar_text(
+        "columnar[drift]",
+        render_drift(summarize_drift(reference, reference)),
+        render_drift(summarize_drift(whole, whole)),
+    )
 
     # -- fast vs slow PII matcher -------------------------------------------
     for record in sorted(dataset, key=lambda r: r.key):

@@ -36,7 +36,14 @@ from .bus import (
     session_end_event,
     session_start_event,
 )
-from .analyzer import DatasetStreamer, StreamAnalyzer, StreamError, stream_dataset
+from .analyzer import (
+    DatasetStreamer,
+    SessionState,
+    StreamAnalyzer,
+    StreamError,
+    merge_session_states,
+    stream_dataset,
+)
 from .checkpoint import CheckpointError, CheckpointManager, FlowJournal
 
 __all__ = [
@@ -48,12 +55,14 @@ __all__ = [
     "DatasetStreamer",
     "FlowBus",
     "FlowJournal",
+    "SessionState",
     "StreamAnalyzer",
     "StreamError",
     "StreamEvent",
     "event_from_dict",
     "event_to_dict",
     "flow_event",
+    "merge_session_states",
     "session_end_event",
     "session_start_event",
     "stream_dataset",

@@ -115,6 +115,24 @@ class SessionState:
                 observations, _ = self._detector.scan_transaction(flow, txn)
                 analysis.leaks.extend(self._policy.classify_all(observations))
 
+    def merge(self, other: "SessionState") -> "SessionState":
+        """Combine two partial states of the *same* session key.
+
+        Used when a session's flows were split across shards (or across
+        resumed epochs): analyses merge field-wise via
+        :meth:`SessionAnalysis.merge` (associative), ``ended`` ORs.
+        Neither operand is mutated; engines are re-wired fresh on the
+        merged state.
+        """
+        if self.key != other.key:
+            raise StreamError(
+                f"cannot merge session {other.key} into {self.key}"
+            )
+        merged = SessionState(self.key, self.ground_truth, self.spec)
+        merged.ended = self.ended or other.ended
+        merged.analysis = self.analysis.merge(other.analysis)
+        return merged
+
     # -- checkpoint (de)serialization ---------------------------------------
 
     def to_checkpoint(self) -> dict:
@@ -226,6 +244,25 @@ class ShardWorker:
             self.error = exc
 
 
+def merge_session_states(shard_mappings) -> dict:
+    """Associatively merge per-shard ``{key: SessionState}`` mappings.
+
+    With the hash-partitioned bus each session lives on exactly one
+    shard, so this degenerates to a dict union — but states sharing a
+    key (hierarchical shard combining, resumed epochs) merge via
+    :meth:`SessionState.merge`, and because every underlying field
+    combine is associative and commutative-up-to-leak-order, any
+    grouping of shards produces the same study (pinned in
+    ``tests/test_stream_merge.py``).
+    """
+    states: dict = {}
+    for mapping in shard_mappings:
+        for key, state in mapping.items():
+            mine = states.get(key)
+            states[key] = state if mine is None else mine.merge(state)
+    return states
+
+
 class StreamAnalyzer:
     """Coordinator: bus + shard workers + finalization into a study.
 
@@ -329,10 +366,7 @@ class StreamAnalyzer:
     # -- finalization --------------------------------------------------------
 
     def session_states(self) -> dict:
-        states: dict = {}
-        for worker in self.workers:
-            states.update(worker.sessions)
-        return states
+        return merge_session_states(worker.sessions for worker in self.workers)
 
     def finalize(
         self,

@@ -1,11 +1,13 @@
 """Tests for the statistics helpers."""
 
 import math
+import random
 
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.analysis.stats import (
+    Moments,
     cdf_at,
     cdf_points,
     format_mean_std,
@@ -111,3 +113,93 @@ class TestFraction:
 
     def test_empty(self):
         assert fraction([], lambda v: True) == 0.0
+
+
+class TestStdAccumulation:
+    def test_fsum_reference(self):
+        # The exact regression the fsum change fixed: a long run of
+        # repeated floats whose naive squared-deviation sum drops small
+        # terms once the running total grows.
+        values = [0.1] * 100_000 + [0.1 + 1e-9]
+        mu = mean(values)
+        expected = math.sqrt(
+            math.fsum((v - mu) ** 2 for v in values) / len(values)
+        )
+        assert std(values) == expected
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_matches_fsum_formula(self, values):
+        mu = mean(values)
+        expected = math.sqrt(
+            math.fsum((v - mu) ** 2 for v in values) / len(values)
+        )
+        assert std(values) == expected
+
+
+class TestMoments:
+    """The mergeable accumulator behind the columnar partials."""
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Moments().mean()
+        with pytest.raises(ValueError):
+            Moments().variance()
+
+    def test_basic(self):
+        moments = Moments.from_values([2.0, 4.0])
+        assert moments.count == 2
+        assert moments.sum() == 6.0
+        assert moments.mean() == 3.0
+        assert moments.std() == 1.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_mean_exactly_matches_two_pass(self, values):
+        assert Moments.from_values(values).mean() == mean(values)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_std_close_to_two_pass(self, values):
+        # One-pass E[x^2] - mu^2 cancels; agreement is approximate by
+        # design (tables keep raw values for byte-identity).
+        one_pass = Moments.from_values(values).std()
+        two_pass = std(values)
+        assert one_pass == pytest.approx(two_pass, abs=1e-6 * max(
+            1.0, max(abs(v) for v in values)
+        ))
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=100),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_split_merge_exact(self, values, seed):
+        """Any split into shards, any merge order: collapsed sums are
+        bit-identical to the single-pass accumulator."""
+        rng = random.Random(seed)
+        reference = Moments.from_values(values)
+        shards = [Moments() for _ in range(rng.randint(1, 4))]
+        for value in values:
+            rng.choice(shards).add(value)
+        rng.shuffle(shards)
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged = merged.merge(shard)
+        assert merged == reference
+        assert merged.sum() == reference.sum()
+        assert merged.sumsq() == reference.sumsq()
+        assert merged.mean() == reference.mean()
+
+    @given(st.lists(finite_floats, max_size=50))
+    def test_merge_associative(self, values):
+        third = max(1, len(values) // 3)
+        a = Moments.from_values(values[:third])
+        b = Moments.from_values(values[third : 2 * third])
+        c = Moments.from_values(values[2 * third :])
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+        assert a.merge(b) == b.merge(a)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_dict_round_trip_exact(self, values):
+        moments = Moments.from_values(values)
+        restored = Moments.from_dict(moments.to_dict())
+        assert restored == moments
+        # Round-tripped accumulators must stay exactly mergeable.
+        assert restored.merge(moments).sum() == moments.merge(moments).sum()

@@ -1,0 +1,185 @@
+"""Associative merging of streaming shard state.
+
+``SessionState.merge`` / ``merge_session_states`` are what let shard
+aggregates combine hierarchically (and resumed epochs fold into live
+state) without changing any result: every underlying field combine is
+associative, so *how* partial states are grouped can never matter.
+These tests pin that algebra against the batch reference analyses.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.pipeline import run_study
+from repro.services.catalog import build_catalog
+from repro.stream import (
+    DatasetStreamer,
+    SessionState,
+    StreamError,
+    merge_session_states,
+)
+
+SLUGS = ("weather", "cnn")
+DURATION = 30.0
+
+
+@pytest.fixture(scope="module")
+def specs():
+    by_slug = {spec.slug: spec for spec in build_catalog()}
+    return [by_slug[slug] for slug in SLUGS]
+
+
+@pytest.fixture(scope="module")
+def study(specs):
+    """Batch reference: matching-only so per-session analyses equal
+    what SessionState.ingest_flow accumulates online."""
+    return run_study(specs, seed=2016, duration=DURATION, train_recon=False)
+
+
+def _full_state(record, spec) -> SessionState:
+    state = SessionState(record.key, record.ground_truth, spec)
+    for flow in record.trace:
+        state.ingest_flow(flow)
+    state.ended = True
+    return state
+
+
+def _partial_states(record, spec, cuts) -> list:
+    """The session's flows split at ``cuts`` into consecutive partial
+    states (only the last carries the session-end marker)."""
+    flows = list(record.trace)
+    bounds = [0] + list(cuts) + [len(flows)]
+    states = []
+    for start, stop in zip(bounds, bounds[1:]):
+        state = SessionState(record.key, record.ground_truth, spec)
+        for flow in flows[start:stop]:
+            state.ingest_flow(flow)
+        states.append(state)
+    states[-1].ended = True
+    return states
+
+
+def _spec_for(record, specs):
+    return {spec.slug: spec for spec in specs}[record.service]
+
+
+def _busiest_record(study):
+    return max(study.dataset, key=lambda record: len(record.trace))
+
+
+class TestSessionStateMerge:
+    def test_chunked_fold_equals_single_pass(self, study, specs):
+        record = _busiest_record(study)
+        spec = _spec_for(record, specs)
+        reference = _full_state(record, spec)
+        n = len(list(record.trace))
+        a, b, c = _partial_states(record, spec, (n // 3, 2 * n // 3))
+        merged = a.merge(b).merge(c)
+        assert merged.analysis == reference.analysis
+        assert merged.ended
+
+    def test_associative(self, study, specs):
+        record = _busiest_record(study)
+        spec = _spec_for(record, specs)
+        n = len(list(record.trace))
+        a, b, c = _partial_states(record, spec, (n // 3, 2 * n // 3))
+        left = (a.merge(b)).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.analysis == right.analysis
+        assert left.ended == right.ended
+
+    def test_operands_not_mutated(self, study, specs):
+        record = _busiest_record(study)
+        spec = _spec_for(record, specs)
+        n = len(list(record.trace))
+        a, b = _partial_states(record, spec, (n // 2,))
+        before_a = a.analysis.to_dict()
+        before_b = b.analysis.to_dict()
+        a.merge(b)
+        assert a.analysis.to_dict() == before_a
+        assert b.analysis.to_dict() == before_b
+
+    def test_ended_ors(self, study, specs):
+        record = _busiest_record(study)
+        spec = _spec_for(record, specs)
+        n = len(list(record.trace))
+        a, b = _partial_states(record, spec, (n // 2,))
+        assert not a.ended and b.ended
+        assert a.merge(b).ended
+        assert b.merge(a).ended
+
+    def test_key_mismatch_rejected(self, study, specs):
+        records = sorted(study.dataset, key=lambda r: r.key)
+        first, second = records[0], records[-1]
+        assert first.key != second.key
+        a = _full_state(first, _spec_for(first, specs))
+        b = _full_state(second, _spec_for(second, specs))
+        with pytest.raises(StreamError, match="cannot merge session"):
+            a.merge(b)
+
+
+class TestMergeSessionStates:
+    def _reference(self, study):
+        return {
+            (a.service, a.os_name, a.medium): a for a in study.analyses()
+        }
+
+    def test_shard_mappings_any_order(self, study, specs):
+        """Real shard state (4-shard stream run), merged in every
+        rotation: same assembled sessions every time."""
+        streamer = DatasetStreamer(study.dataset, specs, shards=4)
+        streamer.run()
+        streamer.analyzer.finish()
+        mappings = [worker.sessions for worker in streamer.analyzer.workers]
+        expected = self._reference(study)
+        for rotation in range(len(mappings)):
+            rotated = mappings[rotation:] + mappings[:rotation]
+            states = merge_session_states(rotated)
+            assert set(states) == set(expected)
+            for key, state in states.items():
+                assert state.analysis == expected[key], key
+        streamer.analyzer.journal.close()
+
+    def test_overlapping_mappings_merge_per_key(self, study, specs):
+        """Mappings sharing keys (hierarchical combining / resumed
+        epochs): partial states fold via SessionState.merge and any
+        grouping yields the same analyses as the batch reference."""
+        first, second = {}, {}
+        for record in study.dataset:
+            spec = _spec_for(record, specs)
+            n = len(list(record.trace))
+            a, b = _partial_states(record, spec, (n // 2,))
+            first[record.key] = a
+            second[record.key] = b
+        expected = self._reference(study)
+
+        flat = merge_session_states([first, second])
+        grouped = merge_session_states(
+            [merge_session_states([first]), merge_session_states([second])]
+        )
+        assert set(flat) == set(expected)
+        for key in expected:
+            assert flat[key].analysis == expected[key], key
+            assert grouped[key].analysis == expected[key], key
+
+    def test_disjoint_mappings_shuffle_invariant(self, study, specs):
+        """One full session per mapping, shuffled: plain dict union."""
+        mappings = [
+            {record.key: _full_state(record, _spec_for(record, specs))}
+            for record in study.dataset
+        ]
+        expected = self._reference(study)
+        for seed in range(3):
+            shuffled = list(mappings)
+            random.Random(seed).shuffle(shuffled)
+            states = merge_session_states(shuffled)
+            assert {
+                key: state.analysis for key, state in states.items()
+            } == expected
+
+    def test_empty(self):
+        assert merge_session_states([]) == {}
+        assert merge_session_states([{}, {}]) == {}
