@@ -10,7 +10,7 @@ FUZZ_SEED ?= 0
 FUZZ_ROUNDS ?= 25
 
 .PHONY: test bench bench-all bench-check bench-stream bench-serve bench-qa \
-	bench-scaling bench-columnar fuzz fuzz-smoke serve clean
+	bench-scaling bench-columnar bench-campaign fuzz fuzz-smoke serve clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -63,6 +63,19 @@ bench-columnar:
 	$(PYTHON) benchmarks/check_regression.py BENCH_columnar.json \
 		--baseline benchmarks/BENCH_columnar.json --tolerance 0.50
 
+# Campaign engine: simulation throughput (sessions/sec, serial vs the
+# process pool) and shard-merge throughput over a 10k-user synthetic
+# campaign.  Runs without --benchmark-only so the direct acceptance
+# asserts execute too: byte-identity against the serial reference
+# everywhere, and process >= 2x serial on multi-core hosts; checked
+# against the recorded baseline (first run records it).
+bench-campaign:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/test_bench_campaign.py \
+		--benchmark-json=BENCH_campaign.json -q
+	$(PYTHON) benchmarks/check_regression.py BENCH_campaign.json \
+		--baseline benchmarks/BENCH_campaign.json --tolerance 0.50
+
 # Fuzzing-harness throughput (scenario generation + oracle scenarios/sec).
 bench-qa:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
@@ -98,10 +111,11 @@ bench-all:
 
 # Run the pipeline bench and fail on >20% mean regression against the
 # recorded baseline (benchmarks/BENCH_baseline.json; first run records it).
-bench-check: bench bench-scaling bench-columnar
+bench-check: bench bench-scaling bench-columnar bench-campaign
 	$(PYTHON) benchmarks/check_regression.py BENCH_pipeline.json
 
 clean:
 	rm -f BENCH_pipeline.json BENCH_all.json BENCH_stream.json BENCH_serve.json \
-		BENCH_qa.json BENCH_scaling.json BENCH_columnar.json repro-fail-*.json
+		BENCH_qa.json BENCH_scaling.json BENCH_columnar.json \
+		BENCH_campaign.json repro-fail-*.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -290,6 +290,15 @@ def render_markdown(study: StudyResult, seed: int = 2016, duration: float = 240.
         "Regenerate with `repro report` or",
         "`python -m repro.cli report > EXPERIMENTS.md`.",
         "",
+        "Every quantity below is measured for the paper's single-tester",
+        "design point.  `repro campaign --population N --cohorts os,medium",
+        "--seed S` re-measures the study across a whole simulated",
+        "population instead (personas drawn from a `--population-spec`",
+        "JSON of distributions) and reports the same tables per cohort",
+        "with Wilson and bootstrap confidence intervals; `--shards`,",
+        "`--executor`, `--workers`, and `--agg` control execution without",
+        "changing a single output byte.",
+        "",
     ]
     for section, section_lines in sections.items():
         out.append(f"## {section}")

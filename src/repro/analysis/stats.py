@@ -8,8 +8,11 @@ standard deviation format of Table 1.
 
 from __future__ import annotations
 
+import hashlib
 import math
+import random
 from collections import Counter
+from statistics import NormalDist
 from typing import Iterable, Sequence
 
 
@@ -254,3 +257,222 @@ def fraction(values: Iterable, predicate) -> float:
     if not values:
         return 0.0
     return sum(1 for v in values if predicate(v)) / len(values)
+
+
+# ---------------------------------------------------------------------------
+# Confidence intervals (population campaigns).
+#
+# Everything below is seeded and PYTHONHASHSEED-independent: randomness
+# comes from ``random.Random`` instances keyed by sha256 labels, never
+# from ``hash()`` or global RNG state.
+# ---------------------------------------------------------------------------
+
+
+def _ci_rng(seed: int, *parts) -> random.Random:
+    """Deterministic sub-RNG keyed by a sha256 label (scenarios.py pattern)."""
+    text = "|".join(str(p) for p in (seed,) + parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def wilson_interval(successes: int, trials: int, confidence: float = 0.95) -> tuple:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` with ``0 <= low <= p_hat <= high <= 1``.
+    Preferred over the normal approximation because it stays inside
+    [0, 1] and behaves at the extremes (0 or all successes) — exactly
+    the regime small cohorts hit.  ``trials == 0`` returns ``(0.0, 1.0)``
+    (no information).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence out of range: {confidence}")
+    if successes < 0 or trials < 0 or successes > trials:
+        raise ValueError(f"bad counts: {successes}/{trials}")
+    if trials == 0:
+        return (0.0, 1.0)
+    z = NormalDist().inv_cdf(0.5 + confidence / 2.0)
+    n = float(trials)
+    p = successes / n
+    denom = 1.0 + z * z / n
+    centre = (p + z * z / (2.0 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n))
+    # At the extremes the exact bound is 0 (resp. 1); the subtraction
+    # can leave a ±1 ulp residue that would exclude the point estimate.
+    low = 0.0 if successes == 0 else max(0.0, centre - half)
+    high = 1.0 if successes == trials else min(1.0, centre + half)
+    return (low, high)
+
+
+def bootstrap_ci(
+    values: Sequence,
+    confidence: float = 0.95,
+    replicates: int = 200,
+    seed: int = 0,
+) -> tuple:
+    """Percentile bootstrap CI for the mean of ``values``.
+
+    Returns ``(low, high)``.  Deterministic: the resampling RNG is
+    derived from ``seed`` via sha256, and the input is sorted before
+    resampling so any permutation of the same multiset yields identical
+    bounds (merge-order invariance for callers that concatenate shard
+    outputs in varying order).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence out of range: {confidence}")
+    if replicates < 1:
+        raise ValueError(f"replicates must be >= 1: {replicates}")
+    values = sorted(float(v) for v in values)
+    if not values:
+        raise ValueError("bootstrap_ci of empty sequence")
+    n = len(values)
+    rng = _ci_rng(seed, "bootstrap_ci", n, replicates)
+    means = []
+    for _ in range(replicates):
+        total = 0.0
+        for _ in range(n):
+            total += values[rng.randrange(n)]
+        # A resample mean lies within [min, max] of the data in exact
+        # arithmetic; clamp away the 1-ulp float summation residue.
+        means.append(min(max(total / n, values[0]), values[-1]))
+    means.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo_rank = max(1, math.ceil(alpha * replicates))
+    hi_rank = max(1, math.ceil((1.0 - alpha) * replicates))
+    return (means[lo_rank - 1], means[hi_rank - 1])
+
+
+def poisson_weights(rng: random.Random, replicates: int) -> list:
+    """Poisson(1) bootstrap weight vector (one weight per replicate).
+
+    Inverse-CDF sampling, one uniform per draw, so the stream is a pure
+    function of the RNG state.  Used by the campaign engine: giving each
+    user a fixed weight vector makes bootstrap resampling *mergeable* —
+    shards accumulate per-replicate weighted sums independently and the
+    merged totals are exact elementwise adds.
+    """
+    weights = []
+    for _ in range(replicates):
+        u = rng.random()
+        k = 0
+        p = math.exp(-1.0)
+        cdf = p
+        while u > cdf and k < 64:
+            k += 1
+            p /= k
+            cdf += p
+        weights.append(k)
+    return weights
+
+
+class BootstrapSums:
+    """Mergeable Poisson-bootstrap accumulator for a mean.
+
+    Each observation arrives with its per-replicate weight vector (from
+    :func:`poisson_weights`, keyed by a stable identity such as the
+    user id, *not* by shard or arrival order).  The accumulator keeps,
+    per replicate, the weighted sum and weighted count; :meth:`merge`
+    is an exact elementwise add, so any shard split or merge order
+    yields identical state for integer-valued observations (the
+    campaign's metrics are all counts).
+    """
+
+    __slots__ = ("replicates", "count", "total", "sums", "counts")
+
+    def __init__(self, replicates: int) -> None:
+        if replicates < 1:
+            raise ValueError(f"replicates must be >= 1: {replicates}")
+        self.replicates = replicates
+        self.count = 0
+        self.total = 0
+        self.sums = [0] * replicates
+        self.counts = [0] * replicates
+
+    def add(self, value, weights: Sequence) -> None:
+        if len(weights) != self.replicates:
+            raise ValueError(
+                f"weight vector length {len(weights)} != replicates {self.replicates}"
+            )
+        self.count += 1
+        self.total += value
+        for r, w in enumerate(weights):
+            if w:
+                self.sums[r] += w * value
+                self.counts[r] += w
+        return None
+
+    def merge(self, other: "BootstrapSums") -> "BootstrapSums":
+        if other.replicates != self.replicates:
+            raise ValueError(
+                f"replicate mismatch: {self.replicates} != {other.replicates}"
+            )
+        merged = BootstrapSums(self.replicates)
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        merged.sums = [a + b for a, b in zip(self.sums, other.sums)]
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        return merged
+
+    def mean(self) -> float:
+        if not self.count:
+            raise ValueError("mean of empty accumulator")
+        return self.total / self.count
+
+    def interval(self, confidence: float = 0.95) -> tuple:
+        """Percentile CI of the mean across replicates.
+
+        Replicates whose weighted count is zero (possible for tiny
+        populations) are dropped; with no usable replicate the point
+        estimate is returned for both bounds.
+        """
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence out of range: {confidence}")
+        if not self.count:
+            raise ValueError("interval of empty accumulator")
+        means = sorted(
+            s / c for s, c in zip(self.sums, self.counts) if c
+        )
+        if not means:
+            point = self.mean()
+            return (point, point)
+        alpha = (1.0 - confidence) / 2.0
+        n = len(means)
+        lo_rank = max(1, math.ceil(alpha * n))
+        hi_rank = max(1, math.ceil((1.0 - alpha) * n))
+        return (means[lo_rank - 1], means[hi_rank - 1])
+
+    def to_dict(self) -> dict:
+        return {
+            "replicates": self.replicates,
+            "count": self.count,
+            "total": self.total,
+            "sums": list(self.sums),
+            "counts": list(self.counts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BootstrapSums":
+        sums = cls(data["replicates"])
+        sums.count = data["count"]
+        sums.total = data["total"]
+        sums.sums = list(data["sums"])
+        sums.counts = list(data["counts"])
+        return sums
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BootstrapSums):
+            return NotImplemented
+        return (
+            self.replicates == other.replicates
+            and self.count == other.count
+            and self.total == other.total
+            and self.sums == other.sums
+            and self.counts == other.counts
+        )
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return f"<BootstrapSums empty B={self.replicates}>"
+        return (
+            f"<BootstrapSums n={self.count} B={self.replicates} "
+            f"mean={self.mean():.6g}>"
+        )

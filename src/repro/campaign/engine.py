@@ -1,0 +1,554 @@
+"""The campaign engine: populations of users as mergeable cohorts.
+
+A *campaign* simulates N users drawn by :class:`PersonaSampler`,
+executes every planned session through the existing scripted
+:class:`~repro.experiment.runner.ExperimentRunner`, analyzes each with
+the unchanged detection pipeline, and folds the results straight into
+mergeable partial aggregates — the population never materializes:
+
+- the user-id range is planned into contiguous *shards* (a pure
+  function of N, never of the worker count);
+- each shard reduces to a :class:`CampaignAggregate` — per-cohort
+  :class:`CohortAggregate` partials holding a columnar
+  :class:`~repro.analysis.columnar.StudyAggregate`, per-user
+  :class:`~repro.analysis.stats.Moments`, user-leak counters for Wilson
+  intervals, and Poisson-bootstrap sums keyed by user id;
+- shard partials stream back through :meth:`repro.par.Executor.map_sessions`
+  and merge associatively, so any shard count, worker count, or merge
+  order yields identical canonical bytes (pinned in the QA oracle).
+
+Every user is a pure function of ``(PopulationSpec, services, seed,
+user_id)``: each session gets a fresh single-service world and a
+runner seeded from the user id, which is what makes the shard geometry
+invisible to the results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Iterable, Optional, Sequence
+
+from ..analysis.columnar import (
+    AGG_AUTO,
+    CellAggregate,
+    ServiceMeta,
+    StudyAggregate,
+    aggregate_blob,
+    encode_cells,
+    resolve_agg,
+)
+from ..analysis.stats import BootstrapSums, Moments, wilson_interval
+from ..core.pipeline import analyze_session
+from ..experiment.runner import ExperimentRunner
+from ..experiment.scripts import persona_script
+from ..services.world import build_world
+from .population import (
+    PersonaSampler,
+    PopulationSpec,
+    UserPersona,
+    cell_order,
+    parse_cohort_dims,
+)
+
+#: Per-user metrics the cohort aggregates keep Moments + bootstrap for.
+USER_METRIC_KEYS = ("sessions", "flows_total", "aa_flows", "aa_bytes", "leak_events")
+
+#: Target users per shard; the shard plan is a pure function of N only.
+SHARD_TARGET_USERS = 256
+
+
+class CampaignError(Exception):
+    """Raised on invalid campaign configuration or merge mismatches."""
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+
+
+class CohortAggregate:
+    """One cohort's mergeable partial reduction.
+
+    Embeds a full :class:`StudyAggregate` (so the paper's tables render
+    per cohort through the shared row-builder tails) plus user-level
+    accumulators: Moments over per-user metrics, the leaking-user
+    counter Wilson intervals come from, and per-replicate Poisson
+    bootstrap sums.  :meth:`merge` is associative and exact — counts
+    and bootstrap sums are integer adds, Moments merge on Shewchuk
+    partials, and the study aggregate's own merge algebra does the
+    rest.
+    """
+
+    __slots__ = (
+        "label",
+        "replicates",
+        "users",
+        "users_leaking",
+        "sessions",
+        "study",
+        "user_moments",
+        "bootstrap",
+    )
+
+    def __init__(self, label: str, replicates: int) -> None:
+        self.label = label
+        self.replicates = replicates
+        self.users = 0
+        self.users_leaking = 0
+        self.sessions = 0
+        self.study = StudyAggregate()
+        self.user_moments = {key: Moments() for key in USER_METRIC_KEYS}
+        self.bootstrap = {key: BootstrapSums(replicates) for key in USER_METRIC_KEYS}
+
+    def add_user(self, metrics: dict, leaked: bool, weights: Sequence) -> None:
+        self.users += 1
+        self.users_leaking += 1 if leaked else 0
+        self.sessions += metrics["sessions"]
+        for key in USER_METRIC_KEYS:
+            value = metrics[key]
+            self.user_moments[key].add(value)
+            self.bootstrap[key].add(value, weights)
+
+    def merge(self, other: "CohortAggregate") -> "CohortAggregate":
+        if other.label != self.label:
+            raise CampaignError(f"cannot merge cohort {other.label!r} into {self.label!r}")
+        if other.replicates != self.replicates:
+            raise CampaignError(
+                f"bootstrap replicate mismatch: {self.replicates} != {other.replicates}"
+            )
+        self.users += other.users
+        self.users_leaking += other.users_leaking
+        self.sessions += other.sessions
+        self.study.merge(other.study)
+        self.user_moments = {
+            key: self.user_moments[key].merge(other.user_moments[key])
+            for key in USER_METRIC_KEYS
+        }
+        self.bootstrap = {
+            key: self.bootstrap[key].merge(other.bootstrap[key])
+            for key in USER_METRIC_KEYS
+        }
+        return self
+
+    # -- intervals -----------------------------------------------------------
+
+    def leak_fraction(self) -> float:
+        if not self.users:
+            return 0.0
+        return self.users_leaking / self.users
+
+    def leak_interval(self, confidence: float = 0.95) -> tuple:
+        """Wilson CI for the fraction of users with >= 1 leak."""
+        return wilson_interval(self.users_leaking, self.users, confidence)
+
+    def metric_interval(self, key: str, confidence: float = 0.95) -> tuple:
+        """Bootstrap CI for the per-user mean of one metric."""
+        return self.bootstrap[key].interval(confidence)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Exact (partials-preserving) form for IPC and merging."""
+        return {
+            "label": self.label,
+            "replicates": self.replicates,
+            "users": self.users,
+            "users_leaking": self.users_leaking,
+            "sessions": self.sessions,
+            "study": self.study.to_dict(),
+            "user_moments": {k: m.to_dict() for k, m in self.user_moments.items()},
+            "bootstrap": {k: b.to_dict() for k, b in self.bootstrap.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CohortAggregate":
+        cohort = cls(data["label"], data["replicates"])
+        cohort.users = data["users"]
+        cohort.users_leaking = data["users_leaking"]
+        cohort.sessions = data["sessions"]
+        cohort.study = StudyAggregate.from_dict(data["study"])
+        cohort.user_moments = {
+            key: Moments.from_dict(entry)
+            for key, entry in data["user_moments"].items()
+        }
+        cohort.bootstrap = {
+            key: BootstrapSums.from_dict(entry)
+            for key, entry in data["bootstrap"].items()
+        }
+        return cohort
+
+    def canonical_dict(self) -> dict:
+        """Comparison form: Moments collapsed to correctly rounded sums
+        (merge-order-invariant), bootstrap sums already exact ints."""
+        payload = self.to_dict()
+        payload["study"] = self.study.canonical_dict()
+        payload["user_moments"] = {
+            key: {
+                "count": m.count,
+                "sum": m.sum(),
+                "sumsq": m.sumsq(),
+                "min": m._min,
+                "max": m._max,
+            }
+            for key, m in self.user_moments.items()
+        }
+        return payload
+
+
+class CampaignAggregate:
+    """The campaign-level mergeable partial: cohorts keyed by label.
+
+    Shards produce one of these each; :meth:`merge` folds another in
+    (cohorts merge pairwise, new labels append).  ``canonical_bytes``
+    is the byte-exact comparison form the QA oracle and the CI smoke
+    job diff — identical for any shard split, worker count, or merge
+    order.
+    """
+
+    def __init__(self, seed: int, dims: tuple, replicates: int) -> None:
+        self.seed = seed
+        self.dims = tuple(dims)
+        self.replicates = replicates
+        self.cohorts: dict = {}  # label -> CohortAggregate
+
+    @property
+    def users(self) -> int:
+        return sum(cohort.users for cohort in self.cohorts.values())
+
+    @property
+    def sessions(self) -> int:
+        return sum(cohort.sessions for cohort in self.cohorts.values())
+
+    def cohort(self, label: str) -> CohortAggregate:
+        cohort = self.cohorts.get(label)
+        if cohort is None:
+            cohort = self.cohorts[label] = CohortAggregate(label, self.replicates)
+        return cohort
+
+    def ordered_cohorts(self) -> list:
+        return [self.cohorts[label] for label in sorted(self.cohorts)]
+
+    def overall(self) -> CohortAggregate:
+        """All cohorts merged into one population-wide aggregate."""
+        total = CohortAggregate("all", self.replicates)
+        for cohort in self.ordered_cohorts():
+            clone = CohortAggregate.from_dict(cohort.to_dict())
+            clone.label = "all"
+            total.merge(clone)
+        return total
+
+    def merge(self, other: "CampaignAggregate") -> "CampaignAggregate":
+        if (other.seed, other.dims, other.replicates) != (
+            self.seed,
+            self.dims,
+            self.replicates,
+        ):
+            raise CampaignError(
+                "cannot merge campaign partials with different "
+                f"(seed, dims, replicates): {(self.seed, self.dims, self.replicates)} "
+                f"!= {(other.seed, other.dims, other.replicates)}"
+            )
+        for label, cohort in sorted(other.cohorts.items()):
+            mine = self.cohorts.get(label)
+            if mine is None:
+                self.cohorts[label] = CohortAggregate.from_dict(cohort.to_dict())
+            else:
+                mine.merge(cohort)
+        return self
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "dims": list(self.dims),
+            "replicates": self.replicates,
+            "cohorts": [cohort.to_dict() for cohort in self.ordered_cohorts()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignAggregate":
+        agg = cls(data["seed"], tuple(data["dims"]), data["replicates"])
+        for entry in data["cohorts"]:
+            cohort = CohortAggregate.from_dict(entry)
+            agg.cohorts[cohort.label] = cohort
+        return agg
+
+    def canonical_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "dims": list(self.dims),
+            "replicates": self.replicates,
+            "users": self.users,
+            "sessions": self.sessions,
+            "cohorts": [cohort.canonical_dict() for cohort in self.ordered_cohorts()],
+        }
+
+    def canonical_bytes(self) -> bytes:
+        return json.dumps(self.canonical_dict(), sort_keys=True).encode("utf-8")
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
+
+
+def merge_campaigns(partials: Iterable) -> CampaignAggregate:
+    """Fold shard partials (in the given order) into one aggregate."""
+    merged = None
+    for partial in partials:
+        if merged is None:
+            merged = CampaignAggregate(partial.seed, partial.dims, partial.replicates)
+        merged.merge(partial)
+    if merged is None:
+        raise CampaignError("no campaign partials to merge")
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Context: everything a shard needs, shippable to pool workers
+# ---------------------------------------------------------------------------
+
+
+class CampaignContext:
+    """Bound (population spec, services, seed, cohorts, agg mode).
+
+    Workers rebuild one from ``(specs, config_dict)`` via the pool
+    initializer; the dict is JSON-safe so the spawn start method works
+    identically to fork.
+    """
+
+    def __init__(
+        self,
+        population_spec: PopulationSpec,
+        services: Sequence,
+        seed: int,
+        dims: tuple = ("os",),
+        agg: str = AGG_AUTO,
+    ) -> None:
+        self.population_spec = population_spec
+        self.services = list(services)
+        self.seed = int(seed)
+        self.dims = tuple(dims)
+        self.agg = resolve_agg(agg)
+        self.sampler = PersonaSampler(population_spec, self.services, self.seed)
+        self.specs_by_slug = {spec.slug: spec for spec in self.services}
+        self.metas = [
+            ServiceMeta.from_spec(spec, index)
+            for index, spec in enumerate(self.services)
+        ]
+        self._order_by_slug = {
+            spec.slug: index for index, spec in enumerate(self.services)
+        }
+
+    def config(self) -> dict:
+        """The JSON-safe half of the worker context (specs ship as
+        pickled objects alongside, like the analysis stages)."""
+        return {
+            "population_spec": self.population_spec.to_dict(),
+            "seed": self.seed,
+            "dims": list(self.dims),
+            "agg": self.agg,
+        }
+
+    @classmethod
+    def from_config(cls, services: Sequence, config: dict) -> "CampaignContext":
+        return cls(
+            PopulationSpec.from_dict(config["population_spec"]),
+            services,
+            config["seed"],
+            dims=tuple(config["dims"]),
+            agg=config["agg"],
+        )
+
+    # -- per-user simulation -------------------------------------------------
+
+    def user_seed(self, user_id: int) -> int:
+        text = f"campaign|{self.seed}|runner|{user_id}"
+        return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+    def simulate_user(self, user: UserPersona) -> list:
+        """Run and analyze every planned session; ``[(order, analysis)]``.
+
+        Each session gets a *fresh* single-service world and a runner
+        seeded purely from the user id, so a user's traffic is
+        independent of which shard or worker simulates them.
+        """
+        cells = []
+        grants = user.grants
+
+        def setup(phone) -> None:
+            phone.permission_decider = (
+                lambda app_slug, permission: permission in grants
+            )
+
+        for plan in user.plans:
+            spec = self.specs_by_slug[plan.service]
+            world = build_world([spec])
+            runner = ExperimentRunner(
+                world, seed=self.user_seed(user.user_id), persona=user.persona
+            )
+            script = persona_script(
+                spec,
+                duration=plan.duration,
+                rng=self.sampler._rng("script", user.user_id, plan.seq),
+            )
+            record = runner.run_session(
+                spec,
+                plan.os_name,
+                plan.medium,
+                duration=plan.duration,
+                script=script,
+                phone_setup=setup,
+            )
+            analysis = analyze_session(record, spec, recon=None)
+            order = cell_order(
+                self._order_by_slug[plan.service], plan.os_name, plan.medium
+            )
+            cells.append((order, analysis))
+        return cells
+
+    # -- folds (rows / columnar twins) ---------------------------------------
+
+    def _fold_rows(self, study: StudyAggregate, cells: list) -> None:
+        """Row-wise fold of ``(order, analysis)`` pairs — mirrors
+        :func:`~repro.analysis.columnar.aggregate_batch` exactly (same
+        groupings, same Moments updates), so the two ``--agg`` paths
+        produce byte-identical canonical aggregates."""
+        for meta in self.metas:
+            mine = study.services.get(meta.slug)
+            if mine is None or meta.order < mine.order:
+                study.services[meta.slug] = meta
+        moments = study.moments
+        for order, analysis in cells:
+            cell = CellAggregate(
+                analysis.service, analysis.os_name, analysis.medium, order
+            )
+            cell.flows_total = analysis.flows_total
+            cell.aa_flows = analysis.aa_flows
+            cell.aa_bytes = analysis.aa_bytes
+            cell.aa_domains = set(analysis.aa_domains)
+            groups: dict = {}
+            events = 0
+            for leak in analysis.leaks:
+                key = (
+                    leak.observation.domain,
+                    leak.observation.hostname,
+                    leak.observation.pii_type,
+                )
+                groups[key] = groups.get(key, 0) + 1
+                events += 1
+            cell.leak_groups = groups
+            existing = study.cells.get(cell.key)
+            if existing is None:
+                study.cells[cell.key] = cell
+            else:
+                existing.merge(cell)
+            moments["flows_total"].add(cell.flows_total)
+            moments["aa_flows"].add(cell.aa_flows)
+            moments["aa_bytes"].add(cell.aa_bytes)
+            moments["leak_events"].add(events)
+
+    def _fold_columnar(self, study: StudyAggregate, cells: list) -> None:
+        """Columnar fold: encode the cells into one batch blob, run the
+        kernel, merge the partial in — the codec round-trip is the same
+        one the process pool ships."""
+        study.merge(aggregate_blob(encode_cells(self.metas, cells)))
+
+    def fold_user(self, agg: CampaignAggregate, user: UserPersona, cells: list) -> None:
+        cohort = agg.cohort(user.cohort(self.dims))
+        if self.agg == "columnar":
+            self._fold_columnar(cohort.study, cells)
+        else:
+            self._fold_rows(cohort.study, cells)
+        metrics = {
+            "sessions": len(cells),
+            "flows_total": sum(a.flows_total for _, a in cells),
+            "aa_flows": sum(a.aa_flows for _, a in cells),
+            "aa_bytes": sum(a.aa_bytes for _, a in cells),
+            "leak_events": sum(len(a.leaks) for _, a in cells),
+        }
+        leaked = any(a.leaks for _, a in cells)
+        cohort.add_user(metrics, leaked, self.sampler.bootstrap_weights(user.user_id))
+
+    # -- shard execution -----------------------------------------------------
+
+    def run_shard(self, start: int, stop: int) -> CampaignAggregate:
+        """Simulate users ``[start, stop)`` into one shard partial."""
+        agg = CampaignAggregate(
+            self.seed, self.dims, self.population_spec.bootstrap_replicates
+        )
+        for user in self.sampler.iter_users(start, stop):
+            self.fold_user(agg, user, self.simulate_user(user))
+        return agg
+
+
+# ---------------------------------------------------------------------------
+# Shard planning + driver
+# ---------------------------------------------------------------------------
+
+
+def default_shard_count(population: int) -> int:
+    """Shards as a pure function of N (never of the worker count), so
+    the plan — hence every partial — is host-independent."""
+    return max(1, math.ceil(population / SHARD_TARGET_USERS))
+
+
+def plan_shards(population: int, shards: Optional[int] = None) -> list:
+    """Contiguous ``(start, stop)`` user-id ranges covering the population."""
+    if population < 1:
+        raise CampaignError(f"population must be >= 1: {population}")
+    count = default_shard_count(population) if shards is None else int(shards)
+    count = max(1, min(count, population))
+    base, extra = divmod(population, count)
+    ranges = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def run_campaign(
+    population: int,
+    seed: int = 7,
+    population_spec: Optional[PopulationSpec] = None,
+    services: Optional[Sequence] = None,
+    cohorts="os",
+    shards: Optional[int] = None,
+    executor=None,
+    workers: int = 1,
+    agg: str = AGG_AUTO,
+    log=None,
+) -> CampaignAggregate:
+    """Simulate a population and return the merged campaign aggregate.
+
+    ``executor`` is a :mod:`repro.par` backend (instance, name, or
+    ``None`` for serial); shard partials stream back through
+    :meth:`~repro.par.Executor.map_sessions` and fold immediately, so
+    memory stays flat at any population size.  ``cohorts`` is a
+    dimension list (``"os"``, ``"os,medium"``, ``"none"``, or a tuple).
+    """
+    from ..par import resolve_executor
+    from ..services.catalog import build_catalog
+
+    specs = list(services) if services is not None else build_catalog()
+    spec = population_spec if population_spec is not None else PopulationSpec()
+    dims = parse_cohort_dims(cohorts) if isinstance(cohorts, str) else tuple(cohorts)
+    context = CampaignContext(spec, specs, seed, dims=dims, agg=agg)
+    engine = resolve_executor(executor, workers)
+    ranges = plan_shards(population, shards)
+    merged = CampaignAggregate(context.seed, context.dims, spec.bootstrap_replicates)
+    done_users = 0
+    for index, partial in enumerate(
+        engine.map_sessions(ranges, specs, context.config())
+    ):
+        merged.merge(partial)
+        done_users += ranges[index][1] - ranges[index][0]
+        if log is not None:
+            log(
+                f"shard {index + 1}/{len(ranges)}: "
+                f"{done_users}/{population} users simulated"
+            )
+    return merged

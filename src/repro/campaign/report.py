@@ -1,0 +1,85 @@
+"""Campaign reporting: population tables with confidence intervals.
+
+Renders a merged :class:`~repro.campaign.engine.CampaignAggregate` as
+text: a population summary, one block per cohort with Wilson intervals
+(fraction of users leaking) and Poisson-bootstrap intervals (per-user
+metric means), and — because every cohort embeds a full columnar
+:class:`~repro.analysis.columnar.StudyAggregate` — the paper's Table 1
+and Table 3 rendered *per cohort* through the shared row-builder tails.
+
+The output starts with the aggregate's canonical sha256 digest so the
+CI smoke job (and anyone else) can diff two runs byte-for-byte on one
+line.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import render_table1, render_table3, table1, table3
+from .engine import USER_METRIC_KEYS, CampaignAggregate, CohortAggregate
+
+#: Human labels for the per-user metric keys.
+_METRIC_LABELS = {
+    "sessions": "sessions/user",
+    "flows_total": "flows/user",
+    "aa_flows": "A&A flows/user",
+    "aa_bytes": "A&A bytes/user",
+    "leak_events": "leak events/user",
+}
+
+
+def _fmt_interval(low: float, high: float, scale: float = 1.0, precision: int = 2) -> str:
+    return f"[{low * scale:.{precision}f}, {high * scale:.{precision}f}]"
+
+
+def cohort_summary_lines(cohort: CohortAggregate, confidence: float = 0.95) -> list:
+    """One cohort's user-level summary with CIs."""
+    lines = [
+        f"cohort {cohort.label}: {cohort.users} users, "
+        f"{cohort.sessions} sessions, {len(cohort.study.cells)} cells"
+    ]
+    low, high = cohort.leak_interval(confidence)
+    pct = 100.0 * cohort.leak_fraction()
+    lines.append(
+        f"  users leaking PII: {cohort.users_leaking}/{cohort.users} "
+        f"({pct:.1f}%), {int(confidence * 100)}% Wilson CI "
+        f"{_fmt_interval(low, high, scale=100.0, precision=1)}%"
+    )
+    for key in USER_METRIC_KEYS:
+        moments = cohort.user_moments[key]
+        if not moments.count:
+            continue
+        blow, bhigh = cohort.metric_interval(key, confidence)
+        lines.append(
+            f"  {_METRIC_LABELS[key]}: mean {moments.mean():.2f} "
+            f"(std {moments.std():.2f}), bootstrap CI "
+            f"{_fmt_interval(blow, bhigh)}"
+        )
+    return lines
+
+
+def render_campaign(
+    campaign: CampaignAggregate,
+    confidence: float = 0.95,
+    tables: bool = False,
+) -> str:
+    """Full text report; ``tables=True`` adds per-cohort Tables 1 & 3."""
+    overall = campaign.overall()
+    lines = [
+        f"campaign digest {campaign.digest()}",
+        f"population: {campaign.users} users, {campaign.sessions} sessions, "
+        f"seed {campaign.seed}, cohorts by "
+        f"{','.join(campaign.dims) if campaign.dims else 'none'}, "
+        f"{campaign.replicates} bootstrap replicates",
+        "",
+    ]
+    lines.extend(cohort_summary_lines(overall, confidence))
+    for cohort in campaign.ordered_cohorts():
+        lines.append("")
+        lines.extend(cohort_summary_lines(cohort, confidence))
+        if tables:
+            lines.append("")
+            lines.append(f"Table 1 ({cohort.label}):")
+            lines.append(render_table1(table1(cohort.study)))
+            lines.append(f"Table 3 ({cohort.label}):")
+            lines.append(render_table3(table3(cohort.study)))
+    return "\n".join(lines) + "\n"

@@ -463,6 +463,54 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    """Population campaign: N sampled users folded into cohort aggregates."""
+    import dataclasses
+    import time
+
+    from .campaign import PopulationSpec, render_campaign, run_campaign
+    from .par import resolve_executor
+
+    if args.population < 1:
+        raise SystemExit(f"--population must be >= 1: {args.population}")
+    if args.population_spec:
+        spec = PopulationSpec.load(args.population_spec)
+    else:
+        spec = PopulationSpec()
+    overrides = {}
+    if args.duration is not None:
+        overrides["session_duration"] = args.duration
+    if args.bootstrap is not None:
+        overrides["bootstrap_replicates"] = args.bootstrap
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+
+    engine = resolve_executor(args.executor, _resolve_workers(args.workers))
+    log = (lambda message: print(message, file=sys.stderr)) if args.progress else None
+    started = time.perf_counter()
+    campaign = run_campaign(
+        args.population,
+        seed=args.seed,
+        population_spec=spec,
+        services=_selected_services(args),
+        cohorts=args.cohorts,
+        shards=args.shards,
+        executor=engine,
+        agg=args.agg,
+        log=log,
+    )
+    elapsed = time.perf_counter() - started
+    print(render_campaign(campaign, confidence=args.confidence, tables=args.tables))
+    if args.progress:
+        rate = campaign.sessions / elapsed if elapsed > 0 else 0.0
+        print(
+            f"{campaign.users} users / {campaign.sessions} sessions in "
+            f"{elapsed:.1f}s ({rate:.1f} sessions/s) on {engine!r}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_catalog(args) -> int:
     for spec in build_catalog():
         oses = "/".join(spec.oses)
@@ -670,6 +718,73 @@ def build_parser() -> argparse.ArgumentParser:
         "(the process pool is always pinned)",
     )
     fuzz_parser.set_defaults(func=cmd_fuzz)
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="population campaign: simulate N users as mergeable cohorts",
+    )
+    campaign_parser.add_argument(
+        "--population", type=int, required=True, help="number of simulated users"
+    )
+    campaign_parser.add_argument(
+        "--seed", type=int, default=7, help="campaign RNG seed"
+    )
+    campaign_parser.add_argument(
+        "--cohorts",
+        default="os",
+        help="cohort dimensions, comma-separated from os/medium/intensity "
+        "('none' = one cohort; default: os)",
+    )
+    campaign_parser.add_argument(
+        "--shards",
+        type=int,
+        help="shard count override (default: a pure function of the "
+        "population; results are identical for any value)",
+    )
+    campaign_parser.add_argument(
+        "--services", help="comma-separated service slugs (default: all 50)"
+    )
+    campaign_parser.add_argument(
+        "--population-spec",
+        metavar="FILE.json",
+        help="load persona distributions from a PopulationSpec JSON file",
+    )
+    campaign_parser.add_argument(
+        "--duration",
+        type=float,
+        help="override the spec's base session length in seconds",
+    )
+    campaign_parser.add_argument(
+        "--bootstrap",
+        type=int,
+        help="override the spec's Poisson-bootstrap replicate count",
+    )
+    campaign_parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level for Wilson/bootstrap intervals",
+    )
+    campaign_parser.add_argument(
+        "--tables",
+        action="store_true",
+        help="also render Tables 1 and 3 per cohort",
+    )
+    campaign_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="log per-shard progress and a throughput summary to stderr",
+    )
+    campaign_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="simulation workers; 0 = one per CPU core (results are "
+        "identical for any value)",
+    )
+    _add_executor(campaign_parser)
+    _add_agg(campaign_parser)
+    campaign_parser.set_defaults(func=cmd_campaign)
     return parser
 
 

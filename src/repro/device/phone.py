@@ -117,6 +117,11 @@ class Phone:
         self._vpn_proxy = None
         self._vpn_client_ip = ""
         self.background_sync = True
+        # Models the *user* answering permission prompts, so it is not
+        # device state and survives factory_reset: a callable
+        # (app_slug, permission) -> bool, or None for the methodology's
+        # always-approve tester.
+        self.permission_decider = None
         self.factory_reset()
 
     # -- identity ------------------------------------------------------------
@@ -194,12 +199,17 @@ class Phone:
         """An app asks for a runtime permission; the tester decides.
 
         The methodology approves every prompt (§3.2), so ``grant``
-        defaults to True, but tests can deny to model cautious users.
+        defaults to True, but tests can deny to model cautious users —
+        and a :attr:`permission_decider`, when set, answers prompts the
+        caller would otherwise approve (the campaign engine's sampled
+        per-user grant behaviour).
         """
         if permission not in Permission.ALL:
             raise DeviceError(f"unknown permission {permission!r}")
         if not self.is_installed(app_slug):
             raise DeviceError(f"app {app_slug!r} is not installed")
+        if grant and self.permission_decider is not None:
+            grant = bool(self.permission_decider(app_slug, permission))
         if grant:
             self.permissions.setdefault(app_slug, set()).add(permission)
         return grant

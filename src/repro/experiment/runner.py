@@ -40,10 +40,20 @@ def _phone_spec(os_name: str) -> PhoneSpec:
 class ExperimentRunner:
     """Runs manual-test sessions against a built world."""
 
-    def __init__(self, world: World, seed: int = 2016) -> None:
+    def __init__(
+        self,
+        world: World,
+        seed: int = 2016,
+        persona: Optional[Persona] = None,
+    ) -> None:
+        """``persona`` overrides the seed-derived tester identity — the
+        campaign engine passes each sampled user's own persona so the
+        session's searchable PII belongs to that user."""
         self.world = world
         self.seed = seed
-        self._base_persona = generate_persona(random.Random(seed))
+        self._base_persona = (
+            persona if persona is not None else generate_persona(random.Random(seed))
+        )
         self._accounts: dict = {}  # slug -> Persona
 
     def _rng(self, *parts) -> random.Random:

@@ -27,15 +27,26 @@ _ACTIVITY_CYCLE = (BROWSE, VIEW, SEARCH, BROWSE, VIEW, BROWSE)
 
 @dataclass(frozen=True)
 class InteractionScript:
-    """A named action sequence with a time budget."""
+    """A named action sequence with a time budget.
+
+    ``cycle`` is the rotating in-service activity stream; the default
+    is the fixed manual-test rotation, while persona-parameterized
+    campaign scripts supply their own per-user ordering.
+    """
 
     name: str
     requires_login: bool
     duration: float = DEFAULT_DURATION
+    cycle: tuple = _ACTIVITY_CYCLE
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
             raise ValueError(f"duration must be positive: {self.duration}")
+        if not self.cycle:
+            raise ValueError("activity cycle must not be empty")
+        for action in self.cycle:
+            if action not in (BROWSE, VIEW, SEARCH):
+                raise ValueError(f"unknown activity {action!r} in cycle")
 
     def actions(self) -> Iterator:
         """Yield actions indefinitely; the runner stops at the deadline.
@@ -48,7 +59,7 @@ class InteractionScript:
             yield LOGIN
         index = 0
         while True:
-            yield _ACTIVITY_CYCLE[index % len(_ACTIVITY_CYCLE)]
+            yield self.cycle[index % len(self.cycle)]
             index += 1
 
 
@@ -58,4 +69,22 @@ def standard_script(spec, duration: float = DEFAULT_DURATION) -> InteractionScri
         name=f"standard-{spec.slug}",
         requires_login=spec.requires_login,
         duration=duration,
+    )
+
+
+def persona_script(spec, duration: float, rng) -> InteractionScript:
+    """A persona-parameterized session script.
+
+    Same action vocabulary as the manual test, but the activity
+    rotation is drawn from ``rng`` — deterministic per (user, session)
+    in a campaign, so two users exercise a service differently while
+    any re-run of the same user replays identically.
+    """
+    cycle = list(_ACTIVITY_CYCLE)
+    rng.shuffle(cycle)
+    return InteractionScript(
+        name=f"persona-{spec.slug}",
+        requires_login=spec.requires_login,
+        duration=duration,
+        cycle=tuple(cycle),
     )

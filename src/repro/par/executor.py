@@ -63,8 +63,36 @@ class Executor:
         """Columnar kernel per batch blob -> ``list[StudyAggregate]``."""
         raise NotImplementedError
 
+    def map_sessions(self, shard_ranges, specs: list, config: dict):
+        """Campaign fan-out: simulate whole session-shards.
+
+        ``shard_ranges`` is an iterable of ``(start, stop)`` user-id
+        ranges; yields one :class:`~repro.campaign.engine.CampaignAggregate`
+        per shard, *streaming* in input order — at most a bounded
+        window of shards is in flight, so the caller folds partials as
+        they arrive and the full population never materializes.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} workers={self.workers}>"
+
+
+def _stream_windowed(pool, fn, items, window: int):
+    """Submit ``items`` to ``pool`` keeping at most ``window`` futures
+    outstanding; yield results in submission order.  The bounded window
+    is what makes the session fan-out streaming: upstream shard
+    descriptors are consumed lazily and downstream results are folded
+    before later shards are even submitted."""
+    from collections import deque
+
+    pending = deque()
+    for item in items:
+        pending.append(pool.submit(fn, item))
+        if len(pending) >= window:
+            yield pending.popleft().result()
+    while pending:
+        yield pending.popleft().result()
 
 
 class SerialExecutor(Executor):
@@ -102,6 +130,13 @@ class SerialExecutor(Executor):
         from ..analysis.columnar import aggregate_blob
 
         return [aggregate_blob(blob) for blob in blobs]
+
+    def map_sessions(self, shard_ranges, specs: list, config: dict):
+        from ..campaign.engine import CampaignContext
+
+        context = CampaignContext.from_config(list(specs), config)
+        for start, stop in shard_ranges:
+            yield context.run_shard(start, stop)
 
 
 class ThreadExecutor(Executor):
@@ -142,6 +177,23 @@ class ThreadExecutor(Executor):
         from ..analysis.columnar import aggregate_blob
 
         return self._map(aggregate_blob, blobs)
+
+    def map_sessions(self, shard_ranges, specs: list, config: dict):
+        from ..campaign.engine import CampaignContext
+
+        context = CampaignContext.from_config(list(specs), config)
+        ranges = list(shard_ranges)
+        if self.workers <= 1 or len(ranges) <= 1:
+            for start, stop in ranges:
+                yield context.run_shard(start, stop)
+            return
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            yield from _stream_windowed(
+                pool,
+                lambda item: context.run_shard(item[0], item[1]),
+                ranges,
+                self.workers * 2,
+            )
 
 
 def _mp_context():
@@ -218,6 +270,31 @@ class ProcessExecutor(Executor):
                 StudyAggregate.from_dict(payload)
                 for payload in pool.map(tasks.aggregate_batch_blob, blobs)
             ]
+
+    def map_sessions(self, shard_ranges, specs: list, config: dict):
+        from ..campaign.engine import CampaignAggregate
+
+        ranges = list(shard_ranges)
+        if not ranges:
+            return
+        workers = min(self.workers, len(ranges))
+        if workers <= 1:
+            # Degenerate pool sizes skip IPC entirely; results are
+            # byte-identical either way, this is purely less overhead.
+            tasks.init_campaign(list(specs), config)
+            for item in ranges:
+                yield CampaignAggregate.from_dict(tasks.campaign_shard(item))
+            return
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_mp_context(),
+            initializer=tasks.init_campaign,
+            initargs=(list(specs), config),
+        ) as pool:
+            for payload in _stream_windowed(
+                pool, tasks.campaign_shard, ranges, workers * 2
+            ):
+                yield CampaignAggregate.from_dict(payload)
 
 
 def default_executor_name() -> str:

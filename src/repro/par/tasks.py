@@ -22,13 +22,32 @@ per-process and are reused across that worker's tasks.
 
 from __future__ import annotations
 
-_CONTEXT = {"specs_by_slug": None, "recon": None}
+_CONTEXT = {"specs_by_slug": None, "recon": None, "campaign": None}
 
 
 def init_worker(specs: list, recon) -> None:
     """Pool initializer: install the per-worker analysis context."""
     _CONTEXT["specs_by_slug"] = {spec.slug: spec for spec in specs}
     _CONTEXT["recon"] = recon
+
+
+def init_campaign(specs: list, config: dict) -> None:
+    """Pool initializer for campaign shards: rebuild the bound context
+    (sampler + specs + fold mode) once per worker.  ``config`` is the
+    JSON-safe :meth:`CampaignContext.config` dict, so fork and spawn
+    workers construct identical contexts."""
+    from ..campaign.engine import CampaignContext
+
+    _CONTEXT["campaign"] = CampaignContext.from_config(specs, config)
+
+
+def campaign_shard(payload) -> dict:
+    """Simulate one shard of users; returns the exact
+    (partials-preserving) ``CampaignAggregate.to_dict()`` form, so the
+    parent's merge of shipped partials stays bit-identical to an
+    in-process reduction."""
+    start, stop = payload
+    return _CONTEXT["campaign"].run_shard(start, stop).to_dict()
 
 
 def analyze_blob(blob: bytes) -> dict:

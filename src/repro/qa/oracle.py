@@ -282,6 +282,72 @@ def run_oracle(scenario: Scenario, mutators=None, executors=("process",)) -> Ora
         render_drift(summarize_drift(whole, whole)),
     )
 
+    # -- campaign engine -----------------------------------------------------
+    # A small population over the scenario's own specs, pinned four
+    # ways: shard-count invariance (1 vs 3), merge-order invariance
+    # (forward vs reversed fold of the same partials), rows ≡ columnar
+    # folds, and serial ≡ process-pool execution — all byte-for-byte on
+    # the canonical campaign aggregate.
+    from ..campaign import CampaignContext, PopulationSpec, merge_campaigns, plan_shards, run_campaign
+
+    stats["campaign_checks"] = 0
+    population = 6
+    pop_spec = PopulationSpec(
+        services_per_user=(1, 3),
+        sessions_per_service=(1, 2),
+        session_duration=scenario.duration,
+        bootstrap_replicates=25,
+    )
+
+    def check_campaign_bytes(component, expected_payload, actual_payload):
+        stats["campaign_checks"] += 1
+        if actual_payload != expected_payload:
+            path, want, got = first_divergent_field(expected_payload, actual_payload)
+            divergences.append(Divergence(component, path, want, got))
+
+    campaign_reference = run_campaign(
+        population,
+        seed=scenario.study_seed,
+        population_spec=pop_spec,
+        services=specs,
+        executor="serial",
+        shards=1,
+        agg="columnar",
+    )
+    campaign_expected = campaign_reference.canonical_bytes()
+
+    rows_context = CampaignContext(
+        pop_spec, specs, scenario.study_seed, dims=("os",), agg="rows"
+    )
+    campaign_partials = [
+        rows_context.run_shard(start, stop)
+        for start, stop in plan_shards(population, 3)
+    ]
+    check_campaign_bytes(
+        "campaign[shards=3,rows]",
+        campaign_expected,
+        mutate("campaign", merge_campaigns(campaign_partials)).canonical_bytes(),
+    )
+    check_campaign_bytes(
+        "campaign[merge reversed]",
+        campaign_expected,
+        merge_campaigns(campaign_partials[::-1]).canonical_bytes(),
+    )
+    campaign_process = run_campaign(
+        population,
+        seed=scenario.study_seed,
+        population_spec=pop_spec,
+        services=specs,
+        executor="process",
+        workers=2,
+        shards=2,
+    )
+    check_campaign_bytes(
+        "campaign[process,workers=2]",
+        campaign_expected,
+        campaign_process.canonical_bytes(),
+    )
+
     # -- fast vs slow PII matcher -------------------------------------------
     for record in sorted(dataset, key=lambda r: r.key):
         fast = GroundTruthMatcher(record.ground_truth)

@@ -151,6 +151,14 @@ class _PiiSource:
         if not values:
             return []
         if leak.pii_type == PiiType.LOCATION:
+            # Apps read coordinates through the runtime permission; a
+            # denied prompt means no fix to leak.  The browser obtains
+            # geolocation via its own (approved) prompt, so web
+            # sessions are ungated — matching the OS permission models.
+            if self.app_slug is not None and not self.phone.has_permission(
+                self.app_slug, Permission.LOCATION
+            ):
+                return []
             persona = self.phone.persona
             pairs = []
             if persona is not None:

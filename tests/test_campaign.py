@@ -1,0 +1,507 @@
+"""Tests for the population-scale campaign engine (repro.campaign)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign import (
+    CampaignAggregate,
+    CampaignContext,
+    CampaignError,
+    CohortAggregate,
+    PersonaSampler,
+    PopulationError,
+    PopulationSpec,
+    cell_order,
+    default_shard_count,
+    merge_campaigns,
+    parse_cohort_dims,
+    plan_shards,
+    render_campaign,
+    run_campaign,
+)
+from repro.device.phone import Permission
+from repro.experiment.scripts import InteractionScript, persona_script, standard_script
+from repro.services.catalog import build_catalog
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Small, fast study geometry shared by the simulation tests.
+SERVICE_SLUGS = ("weather", "grubhub", "cnn")
+
+
+def small_services():
+    wanted = set(SERVICE_SLUGS)
+    return [spec for spec in build_catalog() if spec.slug in wanted]
+
+
+def small_spec(**overrides):
+    base = dict(
+        services_per_user=(1, 2),
+        sessions_per_service=(1, 1),
+        session_duration=20.0,
+        bootstrap_replicates=10,
+    )
+    base.update(overrides)
+    return PopulationSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def services():
+    return small_services()
+
+
+@pytest.fixture(scope="module")
+def reference(services):
+    """The serial shards=1 columnar reference campaign."""
+    return run_campaign(
+        10,
+        seed=7,
+        population_spec=small_spec(),
+        services=services,
+        executor="serial",
+        shards=1,
+        agg="columnar",
+    )
+
+
+class TestPopulationSpec:
+    def test_default_is_valid(self):
+        spec = PopulationSpec()
+        assert spec.os_share["android"] > 0
+        assert 0 < spec.app_preference < 1
+
+    def test_json_round_trip(self):
+        spec = small_spec()
+        assert PopulationSpec.from_dict(spec.to_dict()) == spec
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "pop.json"
+        spec = small_spec(app_preference=0.4)
+        spec.save(path)
+        assert PopulationSpec.load(path) == spec
+        # The file is plain JSON, editable by hand.
+        payload = json.loads(path.read_text())
+        assert payload["app_preference"] == 0.4
+
+    def test_rejects_unknown_os(self):
+        with pytest.raises(PopulationError):
+            PopulationSpec(os_share={"windows-phone": 1.0})
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(PopulationError):
+            PopulationSpec(app_preference=1.5)
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(PopulationError):
+            PopulationSpec(services_per_user=(3, 1))
+        with pytest.raises(PopulationError):
+            PopulationSpec(sessions_per_service=(0, 1))
+        with pytest.raises(PopulationError):
+            PopulationSpec(intensity_range=(0.0, 1.0))
+
+    def test_rejects_unknown_permission(self):
+        with pytest.raises(PopulationError):
+            PopulationSpec(permission_grant_rates={"telepathy": 0.5})
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(PopulationError):
+            PopulationSpec.from_dict({"not_a_field": 1})
+
+
+class TestPersonaSampler:
+    def test_same_seed_same_stream(self, services):
+        a = PersonaSampler(small_spec(), services, seed=11)
+        b = PersonaSampler(small_spec(), services, seed=11)
+        for user_id in range(12):
+            left, right = a.user(user_id), b.user(user_id)
+            assert left == right
+            assert a.bootstrap_weights(user_id) == b.bootstrap_weights(user_id)
+
+    def test_different_seeds_differ(self, services):
+        a = PersonaSampler(small_spec(), services, seed=11)
+        b = PersonaSampler(small_spec(), services, seed=12)
+        assert any(a.user(i) != b.user(i) for i in range(8))
+
+    def test_users_are_pure_functions_of_id(self, services):
+        """Sampling out of order or twice changes nothing."""
+        sampler = PersonaSampler(small_spec(), services, seed=3)
+        backwards = [sampler.user(i) for i in reversed(range(8))]
+        forwards = [sampler.user(i) for i in range(8)]
+        assert list(reversed(backwards)) == forwards
+
+    def test_sub_rng_labels_independent(self, services):
+        """Different component labels must yield independent streams."""
+        sampler = PersonaSampler(small_spec(), services, seed=5)
+        streams = {
+            label: [sampler._rng(label, i).random() for i in range(6)]
+            for label in ("persona", "mix", "grants", "boot", "script")
+        }
+        values = list(streams.values())
+        for i in range(len(values)):
+            for j in range(i + 1, len(values)):
+                assert values[i] != values[j]
+
+    def test_plans_respect_spec_bounds(self, services):
+        spec = small_spec(services_per_user=(1, 2), sessions_per_service=(1, 1))
+        sampler = PersonaSampler(spec, services, seed=9)
+        for user_id in range(20):
+            user = sampler.user(user_id)
+            assert 1 <= len(user.services) <= 2
+            assert len(user.plans) == len(user.services)
+            for plan in user.plans:
+                assert plan.os_name == user.os_name
+                assert plan.medium in ("app", "web")
+                assert plan.duration > 0
+
+    def test_os_share_zero_excludes_os(self, services):
+        spec = small_spec(os_share={"ios": 1.0})
+        sampler = PersonaSampler(spec, services, seed=2)
+        assert all(sampler.user(i).os_name == "ios" for i in range(10))
+
+    def test_grant_rates_zero_and_one(self, services):
+        all_grants = small_spec(
+            permission_grant_rates={Permission.LOCATION: 1.0}
+        )
+        none_grants = small_spec(
+            permission_grant_rates={Permission.LOCATION: 0.0}
+        )
+        assert all(
+            Permission.LOCATION in PersonaSampler(all_grants, services, 1).user(i).grants
+            for i in range(5)
+        )
+        assert all(
+            Permission.LOCATION not in PersonaSampler(none_grants, services, 1).user(i).grants
+            for i in range(5)
+        )
+
+    def test_hash_seed_independence(self, services):
+        """The sampler must not depend on Python's hash randomization."""
+        script = (
+            "from repro.campaign import PersonaSampler, PopulationSpec; "
+            "from repro.services.catalog import build_catalog; "
+            f"services = [s for s in build_catalog() if s.slug in {set(SERVICE_SLUGS)!r}]; "
+            "sampler = PersonaSampler(PopulationSpec(), services, seed=4); "
+            "users = [sampler.user(i) for i in range(5)]; "
+            "print([(u.persona.email, u.os_name, u.services, sorted(u.grants), "
+            "sampler.bootstrap_weights(u.user_id)) for u in users])"
+        )
+        outputs = set()
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = str(REPO_ROOT / "src")
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=REPO_ROOT,
+                check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1
+
+    def test_cohort_labels(self, services):
+        sampler = PersonaSampler(small_spec(), services, seed=6)
+        user = sampler.user(0)
+        assert user.cohort(()) == "all"
+        assert user.cohort(("os",)) == user.os_name
+        assert user.cohort(("os", "medium")) == (
+            f"{user.os_name}/{user.preferred_medium}-first"
+        )
+        with pytest.raises(PopulationError):
+            user.cohort(("zodiac",))
+
+
+class TestShardPlanning:
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_plan_covers_population(self, population):
+        ranges = plan_shards(population)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == population
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+        assert all(stop > start for start, stop in ranges)
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_explicit_shards_clamped(self, population, shards):
+        ranges = plan_shards(population, shards)
+        assert len(ranges) == min(shards, population)
+        assert ranges[-1][1] == population
+
+    def test_default_count_pure_function_of_population(self):
+        assert default_shard_count(1) == 1
+        assert default_shard_count(256) == 1
+        assert default_shard_count(257) == 2
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(CampaignError):
+            plan_shards(0)
+
+    def test_cell_order_pure_and_distinct(self):
+        seen = set()
+        for index in range(3):
+            for os_name in ("android", "ios"):
+                for medium in ("app", "web"):
+                    order = cell_order(index, os_name, medium)
+                    assert order == cell_order(index, os_name, medium)
+                    seen.add(order)
+        assert len(seen) == 12
+
+    def test_parse_cohort_dims(self):
+        assert parse_cohort_dims("none") == ()
+        assert parse_cohort_dims(None) == ()
+        assert parse_cohort_dims("os") == ("os",)
+        assert parse_cohort_dims("os, medium") == ("os", "medium")
+        with pytest.raises(PopulationError):
+            parse_cohort_dims("os,bogus")
+
+
+class TestCampaignDeterminism:
+    def test_shard_count_invariance(self, services, reference):
+        sharded = run_campaign(
+            10,
+            seed=7,
+            population_spec=small_spec(),
+            services=services,
+            executor="serial",
+            shards=3,
+        )
+        assert sharded.canonical_bytes() == reference.canonical_bytes()
+
+    def test_rows_equals_columnar(self, services, reference):
+        rows = run_campaign(
+            10,
+            seed=7,
+            population_spec=small_spec(),
+            services=services,
+            executor="serial",
+            shards=3,
+            agg="rows",
+        )
+        assert rows.canonical_bytes() == reference.canonical_bytes()
+
+    def test_merge_order_invariance(self, services, reference):
+        context = CampaignContext(small_spec(), services, 7, dims=("os",))
+        partials = [
+            context.run_shard(start, stop) for start, stop in plan_shards(10, 4)
+        ]
+        forward = merge_campaigns(partials).canonical_bytes()
+        reverse = merge_campaigns(list(reversed(partials))).canonical_bytes()
+        assert forward == reference.canonical_bytes()
+        assert reverse == reference.canonical_bytes()
+
+    def test_process_pool_matches_serial(self, services, reference):
+        pooled = run_campaign(
+            10,
+            seed=7,
+            population_spec=small_spec(),
+            services=services,
+            executor="process",
+            workers=2,
+            shards=3,
+        )
+        assert pooled.canonical_bytes() == reference.canonical_bytes()
+
+    def test_thread_matches_serial(self, services, reference):
+        threaded = run_campaign(
+            10,
+            seed=7,
+            population_spec=small_spec(),
+            services=services,
+            executor="thread",
+            workers=2,
+            shards=3,
+        )
+        assert threaded.canonical_bytes() == reference.canonical_bytes()
+
+    def test_map_sessions_is_streaming(self, services):
+        """The serial fan-out yields shard partials lazily."""
+        from repro.par import SerialExecutor
+
+        context = CampaignContext(small_spec(), services, 7)
+        stream = SerialExecutor().map_sessions(
+            plan_shards(4, 4), services, context.config()
+        )
+        assert iter(stream) is stream  # a generator, not a list
+        first = next(stream)
+        assert first.users == 1
+
+
+class TestAggregates:
+    def test_round_trip_exact(self, reference):
+        restored = CampaignAggregate.from_dict(reference.to_dict())
+        assert restored.canonical_bytes() == reference.canonical_bytes()
+        # Round-tripped partials must stay exactly mergeable.
+        doubled = CampaignAggregate.from_dict(reference.to_dict()).merge(restored)
+        assert doubled.users == 2 * reference.users
+
+    def test_cohorts_partition_population(self, reference):
+        overall = reference.overall()
+        assert overall.users == reference.users == 10
+        assert sum(c.users for c in reference.ordered_cohorts()) == 10
+        assert overall.sessions == sum(
+            c.sessions for c in reference.ordered_cohorts()
+        )
+
+    def test_intervals_bracket_estimates(self, reference):
+        overall = reference.overall()
+        low, high = overall.leak_interval()
+        assert 0.0 <= low <= overall.leak_fraction() <= high <= 1.0
+        for key in ("sessions", "leak_events"):
+            blow, bhigh = overall.metric_interval(key)
+            assert blow <= bhigh
+
+    def test_merge_rejects_mismatched_config(self, reference):
+        other = CampaignAggregate(seed=99, dims=("os",), replicates=10)
+        with pytest.raises(CampaignError):
+            CampaignAggregate.from_dict(reference.to_dict()).merge(other)
+
+    def test_cohort_merge_rejects_other_label(self):
+        with pytest.raises(CampaignError):
+            CohortAggregate("a", 4).merge(CohortAggregate("b", 4))
+
+    def test_permission_grants_change_leaks(self, services):
+        """Deny-everything users must leak strictly less from apps than
+        grant-everything users (location gating is live end-to-end)."""
+        deny = small_spec(
+            os_share={"android": 1.0},
+            app_preference=1.0,
+            preference_strength=1.0,
+            permission_grant_rates={
+                Permission.LOCATION: 0.0,
+                Permission.PHONE_STATE: 0.0,
+            },
+        )
+        grant = small_spec(
+            os_share={"android": 1.0},
+            app_preference=1.0,
+            preference_strength=1.0,
+            permission_grant_rates={
+                Permission.LOCATION: 1.0,
+                Permission.PHONE_STATE: 1.0,
+            },
+        )
+        denied = run_campaign(
+            6, seed=3, population_spec=deny, services=services, executor="serial"
+        )
+        granted = run_campaign(
+            6, seed=3, population_spec=grant, services=services, executor="serial"
+        )
+        denied_events = denied.overall().user_moments["leak_events"].sum()
+        granted_events = granted.overall().user_moments["leak_events"].sum()
+        assert denied_events < granted_events
+
+
+class TestScripts:
+    def test_persona_script_deterministic(self, services):
+        import random
+
+        spec = services[0]
+        a = persona_script(spec, 30.0, random.Random(5))
+        b = persona_script(spec, 30.0, random.Random(5))
+        assert a == b
+        assert a.duration == 30.0
+
+    def test_persona_scripts_vary_by_rng(self, services):
+        import random
+
+        spec = services[0]
+        cycles = {
+            persona_script(spec, 30.0, random.Random(seed)).cycle
+            for seed in range(20)
+        }
+        assert len(cycles) > 1
+
+    def test_standard_script_unchanged(self, services):
+        spec = services[0]
+        script = standard_script(spec, duration=240.0)
+        actions = []
+        gen = script.actions()
+        for _ in range(10):
+            actions.append(next(gen))
+        assert actions[0] == "open"
+
+    def test_cycle_validation(self):
+        with pytest.raises(ValueError):
+            InteractionScript("x", False, cycle=())
+        with pytest.raises(ValueError):
+            InteractionScript("x", False, cycle=("fly",))
+
+
+class TestReportAndCli:
+    def test_render_contains_digest_and_cohorts(self, reference):
+        text = render_campaign(reference)
+        assert f"campaign digest {reference.digest()}" in text
+        assert "users leaking PII" in text
+        for cohort in reference.ordered_cohorts():
+            assert f"cohort {cohort.label}:" in text
+
+    def test_render_tables(self, reference):
+        text = render_campaign(reference, tables=True)
+        assert "Table 1 (" in text
+        assert "Table 3 (" in text
+
+    def test_cli_campaign(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "campaign",
+                "--population",
+                "4",
+                "--seed",
+                "7",
+                "--services",
+                ",".join(SERVICE_SLUGS),
+                "--executor",
+                "serial",
+                "--duration",
+                "20",
+                "--bootstrap",
+                "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign digest " in out
+        assert "population: 4 users" in out
+
+    def test_cli_population_spec_file(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "pop.json"
+        small_spec(os_share={"ios": 1.0}).save(path)
+        code = main(
+            [
+                "campaign",
+                "--population",
+                "3",
+                "--services",
+                ",".join(SERVICE_SLUGS),
+                "--executor",
+                "serial",
+                "--population-spec",
+                str(path),
+                "--cohorts",
+                "os",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cohort ios:" in out
+        assert "cohort android:" not in out
+
+    def test_cli_rejects_bad_population(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["campaign", "--population", "0"])

@@ -48,3 +48,9 @@ class TestExamples:
         assert "taplytics" in out
         assert "usablenet" in out
         assert "gigya" in out
+
+    def test_population_campaign(self):
+        out = run_example("population_campaign.py")
+        assert "population: 16 users" in out
+        assert "Wilson CI" in out
+        assert "merged forwards and backwards: byte-identical" in out

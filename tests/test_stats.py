@@ -7,7 +7,9 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.analysis.stats import (
+    BootstrapSums,
     Moments,
+    bootstrap_ci,
     cdf_at,
     cdf_points,
     format_mean_std,
@@ -16,7 +18,9 @@ from repro.analysis.stats import (
     mean_std,
     pdf_histogram,
     percentile,
+    poisson_weights,
     std,
+    wilson_interval,
 )
 
 finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
@@ -203,3 +207,186 @@ class TestMoments:
         assert restored == moments
         # Round-tripped accumulators must stay exactly mergeable.
         assert restored.merge(moments).sum() == moments.merge(moments).sum()
+
+
+class TestWilsonInterval:
+    def test_bounds_and_order(self):
+        low, high = wilson_interval(3, 10)
+        assert 0.0 <= low <= 0.3 <= high <= 1.0
+
+    def test_zero_trials_uninformative(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_extremes_stay_inside_unit(self):
+        low, high = wilson_interval(0, 5)
+        assert low == 0.0 and 0.0 < high < 1.0
+        low, high = wilson_interval(5, 5)
+        assert 0.0 < low < 1.0 and high == 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(3, 2)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 2)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=1.0)
+
+    @given(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=40),
+    )
+    def test_contains_point_estimate(self, successes, extra):
+        trials = successes + extra
+        if trials == 0:
+            return
+        low, high = wilson_interval(successes, trials)
+        assert low <= successes / trials <= high
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_nesting_as_level_rises(self, trials):
+        """Intervals at rising confidence are nested (each contains the
+        previous), strictly widen, and always bracket the point
+        estimate — the finite-z face of coverage → 1 as level → 1."""
+        successes = trials // 2
+        p_hat = successes / trials
+        prev_low, prev_high = p_hat, p_hat
+        prev_width = -1.0
+        for confidence in (0.5, 0.8, 0.95, 0.999, 0.9999999):
+            low, high = wilson_interval(successes, trials, confidence)
+            assert low <= prev_low + 1e-12 and high >= prev_high - 1e-12
+            assert low <= p_hat <= high
+            assert high - low > prev_width
+            prev_low, prev_high, prev_width = low, high, high - low
+
+
+class TestBootstrapCi:
+    def test_deterministic_for_seed(self):
+        values = [1, 5, 2, 9, 3]
+        assert bootstrap_ci(values, seed=4) == bootstrap_ci(values, seed=4)
+
+    def test_permutation_invariant(self):
+        values = [1.0, 5.0, 2.0, 9.0, 3.0]
+        shuffled = [9.0, 2.0, 3.0, 1.0, 5.0]
+        assert bootstrap_ci(values, seed=0) == bootstrap_ci(shuffled, seed=0)
+
+    def test_constant_input_degenerate(self):
+        assert bootstrap_ci([7.0] * 10) == (7.0, 7.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], replicates=0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=0.0)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=30))
+    def test_bounds_within_data_range(self, values):
+        low, high = bootstrap_ci(values, seed=1, replicates=50)
+        assert min(values) <= low <= high <= max(values)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_coverage_widens_towards_one(self, seed):
+        """Nesting: as level → 1 the percentile interval reaches the
+        extreme replicate means, so coverage of the sample mean → 1."""
+        rng = random.Random(seed)
+        values = [rng.uniform(0, 10) for _ in range(20)]
+        prev = (math.inf, -math.inf)
+        prev_width = -1.0
+        for confidence in (0.5, 0.8, 0.95, 0.9999):
+            low, high = bootstrap_ci(values, confidence=confidence, seed=3, replicates=80)
+            width = high - low
+            assert width >= prev_width - 1e-12
+            prev_width = width
+        # At near-1 confidence the interval must cover the sample mean.
+        assert low <= mean(values) <= high
+
+    def test_hash_seed_independence(self):
+        """CI bounds must not depend on Python's hash randomization."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        script = (
+            "from repro.analysis.stats import bootstrap_ci, wilson_interval; "
+            "print(bootstrap_ci([3.0, 1.0, 4.0, 1.0, 5.0, 9.0], seed=2), "
+            "wilson_interval(3, 9))"
+        )
+        outputs = set()
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = str(repo_root / "src")
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=repo_root,
+                check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1
+
+
+class TestBootstrapSums:
+    def _filled(self, values, replicates=20, seed=0):
+        sums = BootstrapSums(replicates)
+        for index, value in enumerate(values):
+            rng = random.Random(seed * 1000 + index)
+            sums.add(value, poisson_weights(rng, replicates))
+        return sums
+
+    def test_mean_is_plain_mean(self):
+        sums = self._filled([1, 2, 3, 4])
+        assert sums.mean() == 2.5
+
+    def test_interval_brackets_for_constant_input(self):
+        sums = self._filled([5] * 30)
+        low, high = sums.interval()
+        assert low == high == 5.0
+
+    def test_weight_length_checked(self):
+        sums = BootstrapSums(4)
+        with pytest.raises(ValueError):
+            sums.add(1, [1, 0])
+
+    def test_replicate_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BootstrapSums(4).merge(BootstrapSums(5))
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=40),
+           st.integers(min_value=0, max_value=2**31))
+    def test_merge_invariance(self, values, seed):
+        """Any shard split and merge order reproduces the one-pass
+        accumulator exactly (integer observations)."""
+        reference = self._filled(values)
+        rng = random.Random(seed)
+        shards = [BootstrapSums(20) for _ in range(rng.randint(1, 4))]
+        for index, value in enumerate(values):
+            wrng = random.Random(index)
+            rng.choice(shards).add(value, poisson_weights(wrng, 20))
+        rng.shuffle(shards)
+        merged = shards[0]
+        for shard in shards[1:]:
+            merged = merged.merge(shard)
+        # Same per-user weight keys as _filled(seed=0).
+        expected = self._filled(values, seed=0)
+        assert merged == expected
+        assert merged.interval(0.9) == expected.interval(0.9)
+
+    def test_dict_round_trip(self):
+        sums = self._filled([1, 2, 3])
+        assert BootstrapSums.from_dict(sums.to_dict()) == sums
+
+
+class TestPoissonWeights:
+    def test_deterministic(self):
+        assert poisson_weights(random.Random(5), 10) == poisson_weights(random.Random(5), 10)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_mean_near_one(self, seed):
+        weights = poisson_weights(random.Random(seed), 500)
+        assert 0.5 < sum(weights) / len(weights) < 1.5
+        assert all(w >= 0 for w in weights)
