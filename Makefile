@@ -10,7 +10,8 @@ FUZZ_SEED ?= 0
 FUZZ_ROUNDS ?= 25
 
 .PHONY: test bench bench-all bench-check bench-stream bench-serve bench-qa \
-	bench-scaling bench-columnar bench-campaign fuzz fuzz-smoke serve clean
+	bench-scaling bench-columnar bench-campaign bench-mitigate fuzz fuzz-smoke \
+	serve clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -76,6 +77,18 @@ bench-campaign:
 	$(PYTHON) benchmarks/check_regression.py BENCH_campaign.json \
 		--baseline benchmarks/BENCH_campaign.json --tolerance 0.50
 
+# Mitigation data plane: inline decision latency (p50/p99) and
+# collection throughput with the policy on vs off.  Runs without
+# --benchmark-only so the direct acceptance asserts execute too:
+# decision p50 under budget, residual-leak invariant, and the hard
+# < 5% off-overhead bar (min-of-rounds).
+bench-mitigate:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/test_bench_mitigate.py \
+		--benchmark-json=BENCH_mitigate.json -q
+	$(PYTHON) benchmarks/check_regression.py BENCH_mitigate.json \
+		--baseline benchmarks/BENCH_mitigate.json --tolerance 0.50
+
 # Fuzzing-harness throughput (scenario generation + oracle scenarios/sec).
 bench-qa:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
@@ -111,11 +124,11 @@ bench-all:
 
 # Run the pipeline bench and fail on >20% mean regression against the
 # recorded baseline (benchmarks/BENCH_baseline.json; first run records it).
-bench-check: bench bench-scaling bench-columnar bench-campaign
+bench-check: bench bench-scaling bench-columnar bench-campaign bench-mitigate
 	$(PYTHON) benchmarks/check_regression.py BENCH_pipeline.json
 
 clean:
 	rm -f BENCH_pipeline.json BENCH_all.json BENCH_stream.json BENCH_serve.json \
 		BENCH_qa.json BENCH_scaling.json BENCH_columnar.json \
-		BENCH_campaign.json repro-fail-*.json
+		BENCH_campaign.json BENCH_mitigate.json repro-fail-*.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

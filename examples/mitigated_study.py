@@ -1,0 +1,83 @@
+"""What if the proxy didn't just watch the leaks, but stopped them?
+
+The paper measures *who* receives your PII; this example turns the same
+interception proxy into an inline mitigation device.  A calibrated
+default policy scrubs identity PII, hashes device identifiers into
+stable pseudonyms, and blocks third-party password exfiltration — all
+on the request path, before a byte reaches the (simulated) network.
+The study is then re-scored: leak counts per medium, what survives (and
+why it is allowed to), and which app-vs-web recommendations flip once
+the data plane levels the field.
+
+Run:  python examples/mitigated_study.py
+"""
+
+from repro.mitigate import default_policy, evaluate_mitigation
+from repro.services import build_catalog
+
+
+def main() -> None:
+    catalog = {spec.slug: spec for spec in build_catalog()}
+    chosen = [catalog[slug] for slug in ("weather", "grubhub", "cnn")]
+    policy = default_policy()
+
+    print(f"policy: {policy.label!r} — covers "
+          f"{len(policy.covered_types())}/{len(policy.active_types())} active PII types")
+    outcome = evaluate_mitigation(chosen, policy, seed=2016, blocking=False)
+
+    before = outcome.leak_counts(outcome.baseline)
+    after = outcome.leak_counts(outcome.mitigated)
+    print(f"\n{'service':12s} {'app leaks':>16s} {'web leaks':>16s}")
+    for spec in chosen:
+        cells = []
+        for medium in ("app", "web"):
+            cells.append(
+                f"{before.get((spec.slug, medium), 0):5d} -> "
+                f"{after.get((spec.slug, medium), 0):3d}"
+            )
+        print(f"{spec.slug:12s} {cells[0]:>16s} {cells[1]:>16s}")
+    print(
+        f"\nmitigation removed {100 * outcome.reduction:.0f}% of leak events "
+        f"({outcome.total_leaks(outcome.baseline)} -> "
+        f"{outcome.total_leaks(outcome.mitigated)})"
+    )
+
+    residual = sorted(t.value for t in outcome.residual_types())
+    print("still leaking:", ", ".join(residual) if residual else "(nothing)")
+    print(
+        "every residual leak is a (type, party) cell the policy explicitly\n"
+        "allows — here device_info to first parties, kept for analytics."
+    )
+
+    summary = outcome.addon.decision_summary()
+    latency = outcome.addon.latency_percentiles()
+    print(
+        f"\ninline decisions: {summary['decisions']} verdicts over "
+        f"{summary['requests_seen']} requests "
+        f"({summary['requests_rewritten']} rewritten, "
+        f"{summary['requests_blocked']} blocked)"
+    )
+    print(
+        f"decision latency: p50 {latency['p50_us']:.1f}us, "
+        f"p99 {latency['p99_us']:.1f}us — microsecond budget held"
+    )
+    sample = outcome.addon.decisions[0]
+    print(
+        "sample decision:",
+        f"{sample.action} {sample.pii_type.value} ({sample.encoding}) "
+        f"to {sample.host} [{sample.party}]",
+    )
+
+    flips = [row for row in outcome.recommender_deltas() if row[2] != row[3]]
+    print(f"\nrecommendation flips under mitigation: {len(flips)}")
+    for service, os_name, was, now in flips:
+        print(f"  {service:12s} {os_name:8s} {was} -> {now}")
+    if flips:
+        print(
+            "with the data plane scrubbing both mediums, the choice is no\n"
+            "longer about who leaks less — residual surface decides."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -361,6 +361,49 @@ def cmd_blocking(args) -> int:
     return 0
 
 
+def _load_policy(arg):
+    from .mitigate import default_policy
+    from .mitigate.policy import MitigationPolicy
+
+    if arg is None or arg == "default":
+        return default_policy()
+    return MitigationPolicy.load(arg)
+
+
+def cmd_mitigate(args) -> int:
+    from .mitigate import evaluate_mitigation, render_mitigation
+
+    policy = _load_policy(args.policy)
+    if args.save_policy:
+        policy.save(args.save_policy)
+        print(f"wrote policy {policy.label!r} to {args.save_policy}")
+    outcome = evaluate_mitigation(
+        _selected_services(args),
+        policy,
+        seed=args.seed,
+        duration=args.duration,
+        train_recon=not args.no_recon,
+        workers=_resolve_workers(getattr(args, "workers", 1)),
+        executor=getattr(args, "executor", None),
+        blocking=not args.no_blocking,
+    )
+    if args.baseline_out:
+        # Exactly what ``repro analyze`` prints for the same dataset —
+        # CI diffs the two byte-for-byte to pin "mitigation off changes
+        # nothing".
+        view = _study_view(outcome.baseline, args)
+        text = (
+            render_table1(table1(view))
+            + "\n\n"
+            + render_table3(table3(view))
+            + "\n"
+        )
+        with open(args.baseline_out, "w") as handle:
+            handle.write(text)
+    print(render_mitigation(outcome))
+    return 0
+
+
 def cmd_reach(args) -> int:
     from .analysis.reach import render_reach, summarize_reach
 
@@ -675,6 +718,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(blocking_parser)
     blocking_parser.set_defaults(func=cmd_blocking)
+
+    mitigate_parser = sub.add_parser(
+        "mitigate", help="inline PII mitigation: re-score the study under a policy"
+    )
+    _add_common(mitigate_parser)
+    mitigate_parser.add_argument(
+        "--policy",
+        default="default",
+        help="mitigation policy: 'default' (calibrated) or a policy JSON file",
+    )
+    mitigate_parser.add_argument(
+        "--save-policy",
+        metavar="FILE.json",
+        help="write the resolved policy as JSON, then run",
+    )
+    mitigate_parser.add_argument(
+        "--no-blocking",
+        action="store_true",
+        help="skip the blocking-only contrast runs (2 web sessions/service)",
+    )
+    mitigate_parser.add_argument(
+        "--baseline-out",
+        metavar="FILE",
+        help="write the mitigation-off study in 'repro analyze' format "
+        "(byte-identical when diffed against a plain analyze)",
+    )
+    mitigate_parser.set_defaults(func=cmd_mitigate)
 
     reach_parser = sub.add_parser("reach", help="cross-platform tracker reach (§4.2)")
     _add_common(reach_parser)

@@ -12,7 +12,7 @@ what blocking actually buys — and what it structurally cannot catch
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..experiment.dataset import WEB
@@ -35,7 +35,21 @@ class TrackerBlockingTransport:
     ``page_host`` provides first-party context (extensions know the tab's
     site), so first-party hosts are never blocked even when a rule like
     ``||facebook.com^$third-party`` exists.
+
+    Every verdict is appended to ``decisions`` as ``(host, verdict,
+    rule)`` — ``verdict`` is ``"block"`` or ``"allow"``, ``rule`` the
+    raw filter text of the matching rule (``None`` for allows).  The
+    ``blocked``/``allowed`` counters are derived from that log, which
+    fixes two counting bugs in the original: a connection the inner
+    transport then refused (TLS pin failure) no longer counts as
+    allowed, and callers that swallow :class:`BlockedRequest` can still
+    audit exactly which hosts were refused and why.  The mitigation
+    report (:mod:`repro.mitigate.report`) consumes the same log shape,
+    so blocking and mitigation baselines are directly comparable.
     """
+
+    BLOCK = "block"
+    ALLOW = "allow"
 
     def __init__(
         self,
@@ -46,16 +60,27 @@ class TrackerBlockingTransport:
         self.inner = inner
         self.page_host = page_host
         self.filter_list = filter_list if filter_list is not None else bundled_easylist()
-        self.blocked = 0
-        self.allowed = 0
+        self.decisions: list = []  # (host, verdict, rule raw text or None)
+
+    @property
+    def blocked(self) -> int:
+        return sum(1 for _, verdict, _ in self.decisions if verdict == self.BLOCK)
+
+    @property
+    def allowed(self) -> int:
+        return sum(1 for _, verdict, _ in self.decisions if verdict == self.ALLOW)
 
     def connect(self, host: str, port: int, scheme: str, enforce_pins: bool = False):
         probe = f"{scheme}://{host}/"
-        if self.filter_list.matches(probe, page_host=self.page_host):
-            self.blocked += 1
+        rule = self.filter_list.match(probe, page_host=self.page_host)
+        if rule is not None:
+            self.decisions.append((host, self.BLOCK, rule.raw))
             raise BlockedRequest(f"blocked by filter list: {host}")
-        self.allowed += 1
-        return self.inner.connect(host, port, scheme, enforce_pins=enforce_pins)
+        connection = self.inner.connect(host, port, scheme, enforce_pins=enforce_pins)
+        # Recorded only after the inner transport accepts: a refused
+        # handshake is not an allowed connection.
+        self.decisions.append((host, self.ALLOW, None))
+        return connection
 
 
 @dataclass
@@ -67,6 +92,9 @@ class BlockingOutcome:
     baseline: SessionAnalysis
     protected: SessionAnalysis
     connections_blocked: int
+    # (host, verdict, rule) tuples from every blocking transport of the
+    # protected run, in decision order.
+    decisions: list = field(default_factory=list)
 
     @property
     def aa_domains_removed(self) -> int:
@@ -104,22 +132,23 @@ def evaluate_blocking(
     difference is the blocker.
     """
     baseline_record = _run_web(spec, os_name, seed, duration, blocker=None)
-    blocked_counter = []
+    decisions: list = []
     protected_record = _run_web(
         spec, os_name, seed, duration,
         blocker=(filter_list if filter_list is not None else bundled_easylist()),
-        blocked_out=blocked_counter,
+        decisions_out=decisions,
     )
     return BlockingOutcome(
         service=spec.slug,
         os_name=os_name,
         baseline=analyze_session(baseline_record, spec),
         protected=analyze_session(protected_record, spec),
-        connections_blocked=blocked_counter[0] if blocked_counter else 0,
+        connections_blocked=sum(1 for _, verdict, _ in decisions if verdict == "block"),
+        decisions=decisions,
     )
 
 
-def _run_web(spec, os_name, seed, duration, blocker, blocked_out=None):
+def _run_web(spec, os_name, seed, duration, blocker, decisions_out=None):
     world = build_world([spec])
     runner = ExperimentRunner(world, seed=seed)
     if blocker is None:
@@ -138,8 +167,9 @@ def _run_web(spec, os_name, seed, duration, blocker, blocked_out=None):
     record = runner.run_session(
         spec, os_name, WEB, duration=duration, phone_setup=install_blocker
     )
-    if blocked_out is not None:
-        blocked_out.append(sum(t.blocked for t in transports))
+    if decisions_out is not None:
+        for transport in transports:
+            decisions_out.extend(transport.decisions)
     return record
 
 

@@ -377,6 +377,7 @@ def run_study(
     checkpoint_dir=None,
     executor=None,
     cache_dir=None,
+    mitigation=None,
 ) -> StudyResult:
     """Collect and evaluate the full study (the paper, end to end).
 
@@ -396,6 +397,16 @@ def run_study(
     is still running (see :mod:`repro.stream`).  The result is
     byte-for-byte identical to the batch path; ``checkpoint_dir``
     additionally makes the run crash-resumable.
+
+    ``mitigation`` runs the whole collection through the inline
+    mitigation data plane (:mod:`repro.mitigate`): pass a
+    :class:`~repro.mitigate.policy.MitigationPolicy` or a prepared
+    :class:`~repro.mitigate.plane.MitigationAddon`.  Mitigated traffic
+    is deterministic per seed but policy-dependent, so the campaign
+    fast path of the persistent cache is bypassed (per-session analysis
+    caching still applies — it is content-addressed).  With
+    ``mitigation=None`` every path through this function is
+    byte-identical to the pre-mitigation pipeline.
     """
     cache = None
     campaign_key = None
@@ -404,7 +415,7 @@ def run_study(
 
         cache = AnalysisCache(cache_dir)
     if not streaming:
-        if cache is not None and world is None and services is not None:
+        if cache is not None and world is None and services is not None and mitigation is None:
             # The campaign is a pure function of (specs, seed, duration):
             # with a cache we can skip the whole simulated collection.
             campaign_key = cache.campaign_key(services, seed, duration)
@@ -423,7 +434,7 @@ def run_study(
     specs = services if services is not None else world.services
     runner = ExperimentRunner(world, seed=seed)
     if not streaming:
-        dataset = runner.run_study(specs, duration=duration)
+        dataset = runner.run_study(specs, duration=duration, mitigation=mitigation)
         if cache is not None and campaign_key is not None:
             cache.store_campaign(campaign_key, dataset)
         return analyze_dataset(
@@ -446,7 +457,10 @@ def run_study(
     try:
         analyzer.start()
         dataset = runner.run_study(
-            specs, duration=duration, phone_setup=capture.stage_phone
+            specs,
+            duration=duration,
+            phone_setup=capture.stage_phone,
+            mitigation=mitigation,
         )
         study = analyzer.finalize(train_recon=train_recon)
     finally:

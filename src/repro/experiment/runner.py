@@ -184,16 +184,57 @@ class ExperimentRunner:
         services: Optional[list] = None,
         duration: float = 240.0,
         phone_setup=None,
+        mitigation=None,
     ) -> Dataset:
         """Run the full measurement campaign and return the dataset.
 
         ``phone_setup`` is forwarded to every :meth:`run_session` — the
         streaming pipeline uses it to stage each device's ground truth
         into the live capture addon.
+
+        ``mitigation`` turns the capture proxy into an inline mitigating
+        proxy for the whole campaign: pass a
+        :class:`~repro.mitigate.policy.MitigationPolicy` (an addon is
+        built from it) or a prepared
+        :class:`~repro.mitigate.plane.MitigationAddon`.  The addon is
+        installed on the world proxy for the duration of the study and
+        its ground-truth staging is chained in front of ``phone_setup``.
+        With ``mitigation=None`` this method is byte-identical to the
+        pre-mitigation runner.
         """
-        dataset = Dataset()
         specs = services if services is not None else self.world.services
-        for spec in specs:
-            for record in self.run_service(spec, duration=duration, phone_setup=phone_setup):
-                dataset.add(record)
-        return dataset
+        if mitigation is None:
+            dataset = Dataset()
+            for spec in specs:
+                for record in self.run_service(
+                    spec, duration=duration, phone_setup=phone_setup
+                ):
+                    dataset.add(record)
+            return dataset
+
+        if hasattr(mitigation, "rewrite_request"):
+            addon = mitigation
+        else:
+            from ..mitigate.plane import MitigationAddon
+
+            addon = MitigationAddon(mitigation, specs, seed=self.seed)
+
+        if phone_setup is None:
+            setup = addon.stage_phone
+        else:
+            def setup(phone):
+                addon.stage_phone(phone)
+                phone_setup(phone)
+
+        proxy = self.world.proxy
+        proxy.add_addon(addon)
+        try:
+            dataset = Dataset()
+            for spec in specs:
+                for record in self.run_service(
+                    spec, duration=duration, phone_setup=setup
+                ):
+                    dataset.add(record)
+            return dataset
+        finally:
+            proxy.remove_addon(addon)

@@ -20,6 +20,15 @@ Semantics mirror the real setup:
   ``tcp_close`` callbacks plus ``capture_start``/``capture_stop``
   lifecycle hooks, and may tag flows (used for background-traffic
   labeling and for live export into the streaming analysis bus).
+- A ``rewrite_request`` stage runs between the client and the network
+  on decryptable flows: an addon may return a replacement
+  :class:`~repro.http.message.Request` (forwarded and recorded in place
+  of the original), a :class:`~repro.http.message.Response`
+  (short-circuit: the network never sees the request), or a
+  ``(Request, Response)`` pair (record the rewritten request *and*
+  short-circuit).  Rewrite callbacks are transactional per addon: one
+  that raises is logged to ``addon_errors`` and its rewrite is
+  discarded, so a broken rewriter can never corrupt a flow mid-rewrite.
 """
 
 from __future__ import annotations
@@ -38,6 +47,18 @@ from ..tls.handshake import HandshakeError, negotiate
 
 class CaptureError(Exception):
     """Raised on invalid capture lifecycle operations."""
+
+
+# Every addon callback the proxy resolves at registration time.
+_ADDON_EVENTS = (
+    "tcp_connect",
+    "tcp_close",
+    "rewrite_request",
+    "request",
+    "response",
+    "capture_start",
+    "capture_stop",
+)
 
 
 def _captured_request(request: Request) -> CapturedRequest:
@@ -115,14 +136,7 @@ class InterceptionProxy:
         self.addons.append(addon)
         # Resolve callbacks once at registration: _emit runs twice per
         # transaction, so a getattr per addon per event adds up.
-        for event in (
-            "tcp_connect",
-            "tcp_close",
-            "request",
-            "response",
-            "capture_start",
-            "capture_stop",
-        ):
+        for event in _ADDON_EVENTS:
             callback = getattr(addon, event, None)
             if callback is not None:
                 self._callbacks.setdefault(event, []).append(callback)
@@ -134,14 +148,7 @@ class InterceptionProxy:
         self.addons.remove(addon)
         self._callbacks = {}
         for remaining in self.addons:
-            for event in (
-                "tcp_connect",
-                "tcp_close",
-                "request",
-                "response",
-                "capture_start",
-                "capture_stop",
-            ):
+            for event in _ADDON_EVENTS:
                 callback = getattr(remaining, event, None)
                 if callback is not None:
                     self._callbacks.setdefault(event, []).append(callback)
@@ -156,6 +163,42 @@ class InterceptionProxy:
                 if len(self.addon_errors) < self._MAX_ADDON_ERRORS:
                     name = getattr(callback, "__qualname__", repr(callback))
                     self.addon_errors.append((event, name, repr(exc)))
+
+    def _record_addon_error(self, event: str, callback, exc: Exception) -> None:
+        if len(self.addon_errors) < self._MAX_ADDON_ERRORS:
+            name = getattr(callback, "__qualname__", repr(callback))
+            self.addon_errors.append((event, name, repr(exc)))
+
+    def _apply_rewrites(self, flow: Flow, request: Request):
+        """Run the request-rewrite stage; returns ``(request, response)``.
+
+        ``response`` is ``None`` unless an addon short-circuited the
+        dispatch.  Each addon is transactional: a callback that raises
+        is recorded in ``addon_errors`` and the request it was handed
+        stays in effect, so a partial rewrite never reaches the wire.
+        With no rewrite addons registered this is a single dict lookup —
+        the mitigation-off hot path stays unchanged.
+        """
+        callbacks = self._callbacks.get("rewrite_request")
+        if not callbacks:
+            return request, None
+        for callback in callbacks:
+            try:
+                result = callback(flow, request)
+            except Exception as exc:
+                self._record_addon_error("rewrite_request", callback, exc)
+                continue
+            if result is None:
+                continue
+            if isinstance(result, Response):
+                return request, result
+            if isinstance(result, tuple):
+                rewritten, response = result
+                if rewritten is not None:
+                    request = rewritten
+                return request, response
+            request = result
+        return request, None
 
     # -- transport factory ---------------------------------------------------
 
@@ -258,9 +301,14 @@ class ProxyConnection:
         proxy = self.proxy
         decryptable = self.flow.tls is None or self.flow.tls.intercepted
 
+        short_circuit = None
         if decryptable:
+            request, short_circuit = proxy._apply_rewrites(self.flow, request)
             proxy._emit("request", self.flow, request)
-        response = proxy.network.dispatch(request)
+        if short_circuit is not None:
+            response = short_circuit
+        else:
+            response = proxy.network.dispatch(request)
         if decryptable:
             proxy._emit("response", self.flow, request, response)
             captured_response = _captured_response(response)

@@ -124,6 +124,13 @@ class ExplodingAddon:
     def tcp_connect(self, flow) -> None:
         self._maybe_explode("tcp_connect")
 
+    def rewrite_request(self, flow, request):
+        # A rewrite callback that raises must be isolated by the
+        # transactional rewrite stage; when it survives, it rewrites
+        # nothing.
+        self._maybe_explode("rewrite_request")
+        return None
+
     def request(self, flow, request) -> None:
         self._maybe_explode("request")
 
@@ -259,6 +266,57 @@ def check_addon_chaos(scenario, specs, expected, plan, mutate):
     return out, {"addon_errors": len(world.proxy.addon_errors)}
 
 
+def check_mitigation_chaos(scenario, specs, plan, mutate):
+    """A raising rewrite stage must not corrupt mitigated collection.
+
+    Two mitigated collections of the same seed — one clean, one with an
+    exploding addon whose ``rewrite_request`` raises every Nth call —
+    must analyze byte-identically, and the proxy must have logged the
+    rewrite failures instead of letting them touch a flow.
+    """
+    from ..mitigate.policy import default_policy
+    from .oracle import canonical_bytes
+
+    policy = default_policy()
+
+    def collect(chaos: bool):
+        world = build_world(specs)
+        if chaos:
+            world.proxy.add_addon(ExplodingAddon(every=plan.addon_every))
+        runner = ExperimentRunner(world, seed=scenario.study_seed)
+        dataset = runner.run_study(
+            specs, duration=scenario.duration, mitigation=policy
+        )
+        return dataset, world.proxy
+
+    clean_dataset, _ = collect(chaos=False)
+    expected = canonical_bytes(
+        analyze_dataset(clean_dataset, specs, train_recon=False, workers=1)
+    )
+    chaos_dataset, proxy = collect(chaos=True)
+    study = mutate(
+        "mitigate",
+        analyze_dataset(chaos_dataset, specs, train_recon=False, workers=1),
+    )
+    out = []
+    actual = canonical_bytes(study)
+    if actual != expected:
+        out.append(_divergence("mitigate-chaos[study]", "study", expected, actual))
+    rewrite_errors = [
+        entry for entry in proxy.addon_errors if entry[0] == "rewrite_request"
+    ]
+    if not rewrite_errors:
+        out.append(
+            _divergence(
+                "mitigate-chaos[errors]",
+                "rewrite_request addon_errors",
+                "non-empty",
+                "empty",
+            )
+        )
+    return out, {"rewrite_errors": len(rewrite_errors)}
+
+
 def check_serve_snapshot(scenario, specs, dataset, mutate):
     """Serve must never expose a half-written journal append."""
     from .oracle import canonical_bytes
@@ -323,6 +381,11 @@ def run_fault_checks(scenario, specs, dataset, expected, mutators=None):
         found, addon_stats = check_addon_chaos(scenario, specs, expected, plan, mutate)
         divergences.extend(found)
         stats.update(addon_stats)
+        stats["fault_checks"] += 1
+
+        found, rewrite_stats = check_mitigation_chaos(scenario, specs, plan, mutate)
+        divergences.extend(found)
+        stats.update(rewrite_stats)
         stats["fault_checks"] += 1
 
     if plan.serve_check:

@@ -17,7 +17,12 @@ Paths compared against the ``workers=1`` batch reference:
   per decrypted transaction and per generated probe text;
 - the indexed EasyList engine vs ``FilterList.match_linear`` over the
   scenario's URL probes (scenario filters and the bundled list);
-- PSL invariants (idempotence, reflexivity) over generated hostnames.
+- PSL invariants (idempotence, reflexivity) over generated hostnames;
+- the mitigation data plane: an installed all-allow policy is
+  byte-inert, mitigated traffic analyzes identically in serial /
+  process-pool / streaming, re-collection under the same policy and
+  seed reproduces the mitigated study, and every residual leak is of a
+  (type, party) cell the policy explicitly allows.
 
 ``mutators`` deliberately corrupt one path's output before comparison —
 the mutation canary tests use this to prove the oracle actually looks.
@@ -347,6 +352,115 @@ def run_oracle(scenario: Scenario, mutators=None, executors=("process",)) -> Ora
         campaign_expected,
         campaign_process.canonical_bytes(),
     )
+
+    # -- mitigation data plane ----------------------------------------------
+    # Four pins per seed: (a) an installed-but-inert (all-allow) policy
+    # leaves the study byte-identical to the reference; (b) the
+    # mitigated dataset analyzes identically in serial, process-pool
+    # and streaming; (c) re-collecting under the same policy and seed
+    # reproduces the mitigated study byte for byte; (d) the residual
+    # invariant — every leak surviving mitigation is of a (type, party)
+    # cell the policy explicitly allows.
+    from ..core.pipeline import categorizer_for
+    from ..mitigate.policy import (
+        ACTION_ALLOW,
+        FIRST_PARTY,
+        THIRD_PARTY,
+        MitigationPolicy,
+        default_policy,
+    )
+
+    stats["mitigate_checks"] = 0
+    stats["mitigate_residual_probes"] = 0
+
+    def check_mitigated(component, study, expected_payload):
+        stats["mitigate_checks"] += 1
+        actual = canonical_bytes(mutate("mitigate", study))
+        if actual != expected_payload:
+            path, want, got = first_divergent_field(expected_payload, actual)
+            divergences.append(Divergence(component, path, want, got))
+
+    inert_world = build_world(specs)
+    inert_runner = ExperimentRunner(inert_world, seed=scenario.study_seed)
+    inert_dataset = inert_runner.run_study(
+        specs,
+        duration=scenario.duration,
+        mitigation=MitigationPolicy(label="inert"),
+    )
+    check_mitigated(
+        "mitigate[inert-policy]",
+        analyze_dataset(
+            inert_dataset, specs, train_recon=scenario.train_recon, workers=1
+        ),
+        expected,
+    )
+
+    policy = default_policy()
+
+    def collect_mitigated():
+        world = build_world(specs)
+        mitigated_runner = ExperimentRunner(world, seed=scenario.study_seed)
+        return mitigated_runner.run_study(
+            specs, duration=scenario.duration, mitigation=policy
+        )
+
+    mitigated_dataset = collect_mitigated()
+    mitigated_reference = analyze_dataset(
+        mitigated_dataset, specs, train_recon=scenario.train_recon, workers=1
+    )
+    mitigated_expected = canonical_bytes(mitigated_reference)
+
+    check_mitigated(
+        "mitigate[process,workers=2]",
+        analyze_dataset(
+            mitigated_dataset,
+            specs,
+            train_recon=scenario.train_recon,
+            workers=2,
+            executor="process",
+        ),
+        mitigated_expected,
+    )
+    check_mitigated(
+        "mitigate[stream,shards=2]",
+        stream_dataset(
+            mitigated_dataset, specs, shards=2, train_recon=scenario.train_recon
+        ),
+        mitigated_expected,
+    )
+    check_mitigated(
+        "mitigate[recollect]",
+        analyze_dataset(
+            collect_mitigated(), specs, train_recon=scenario.train_recon, workers=1
+        ),
+        mitigated_expected,
+    )
+
+    covered = policy.covered_types()
+    categorizers = {spec.slug: categorizer_for(spec) for spec in specs}
+    for analysis in mitigated_reference.analyses():
+        categorizer = categorizers[analysis.service]
+        for leak in analysis.leaks:
+            stats["mitigate_residual_probes"] += 1
+            host = leak.observation.hostname
+            party = (
+                FIRST_PARTY
+                if leak.category.is_first_party or categorizer.is_sso_host(host)
+                else THIRD_PARTY
+            )
+            action = policy.action_for(leak.pii_type, party)
+            if action != ACTION_ALLOW or leak.pii_type in covered:
+                divergences.append(
+                    Divergence(
+                        component=(
+                            f"mitigate[residual:{analysis.service}|"
+                            f"{analysis.os_name}|{analysis.medium}]"
+                        ),
+                        path=f"{leak.pii_type.value}@{host}",
+                        expected=ACTION_ALLOW,
+                        actual=action,
+                    )
+                )
 
     # -- fast vs slow PII matcher -------------------------------------------
     for record in sorted(dataset, key=lambda r: r.key):

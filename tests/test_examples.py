@@ -54,3 +54,11 @@ class TestExamples:
         assert "population: 16 users" in out
         assert "Wilson CI" in out
         assert "merged forwards and backwards: byte-identical" in out
+
+    def test_mitigated_study(self):
+        out = run_example("mitigated_study.py")
+        assert "policy: 'default'" in out
+        assert "mitigation removed" in out
+        assert "still leaking: device_info" in out
+        assert "decision latency: p50" in out
+        assert "recommendation flips under mitigation" in out

@@ -205,3 +205,53 @@ class TestFilterEquivalenceProperty:
             assert (indexed.raw if indexed else None) == (
                 linear.raw if linear else None
             )
+
+
+class TestMitigationRewriteProperty:
+    """Scrubbing/hashing a planted leak must leave the carrying document
+    parseable in its own encoding, over the fuzz vocabulary."""
+
+    REWRITE_ENCODINGS = ["base64", "hex", "urlencoded"]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        value=pii_values,
+        encoding=st.sampled_from(REWRITE_ENCODINGS),
+        action=st.sampled_from(["scrub", "hash"]),
+    )
+    def test_rewritten_body_stays_parseable(self, value, encoding, action):
+        import base64 as b64
+        import re
+
+        from repro.mitigate.plane import build_rewrite_plan, rewrite_text
+
+        wire = encode_value(value, encoding)
+        body = f"a=1&tok={wire}&b=2"
+        plan = build_rewrite_plan([(PiiType.EMAIL, value, False, action)], seed=7)
+        out = rewrite_text(body, plan)
+        assert len(out) == len(body)
+        assert wire not in out
+        token = out.split("tok=")[1].split("&")[0]
+        assert len(token) == len(wire)
+        if encoding == "hex":
+            bytes.fromhex(token)  # still valid hex
+        elif encoding == "base64":
+            b64.b64decode(token, validate=True)  # still valid base64
+        else:
+            # Still valid percent-encoding: every '%' starts an escape.
+            assert re.fullmatch(r"(?:%[0-9A-Fa-f]{2}|[^%&=])*", token)
+        # The planted value must be undetectable after the rewrite.
+        matcher = GroundTruthMatcher({PiiType.EMAIL: [value]})
+        assert not matcher.match_text(out)
+
+    @settings(max_examples=40, deadline=None)
+    @given(value=pii_values)
+    def test_hash_rewrite_deterministic_and_seed_keyed(self, value):
+        from repro.mitigate.plane import build_rewrite_plan, rewrite_text
+
+        body = f"id={encode_value(value, 'base64')}"
+        one = rewrite_text(body, build_rewrite_plan([(PiiType.UNIQUE_ID, value, False, "hash")], seed=11))
+        two = rewrite_text(body, build_rewrite_plan([(PiiType.UNIQUE_ID, value, False, "hash")], seed=11))
+        other = rewrite_text(body, build_rewrite_plan([(PiiType.UNIQUE_ID, value, False, "hash")], seed=12))
+        assert one == two
+        assert one != other

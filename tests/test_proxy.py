@@ -190,3 +190,104 @@ class TestAddons:
         ClientSession(proxy.transport_for(trusted_store())).get("https://api.example.com/logged")
         proxy.stop_capture()
         assert seen == ["/logged"]
+
+
+class TestRewriteStage:
+    """The request-rewrite stage: replace, short-circuit, isolate."""
+
+    def _session(self, proxy):
+        return ClientSession(proxy.transport_for(trusted_store()))
+
+    def test_rewrite_replaces_wire_and_recorded_request(self, echo_world):
+        _, _, proxy = echo_world
+        seen_by_observer = []
+
+        class Redactor:
+            def rewrite_request(self, flow, request):
+                from repro.http.url import parse_url
+
+                rewritten = request.copy()
+                target = request.url.request_target.replace("secret", "xxxxxx")
+                rewritten.url = parse_url(request.url.origin + target)
+                return rewritten
+
+        class Observer:
+            def request(self, flow, request):
+                seen_by_observer.append(str(request.url))
+
+        proxy.add_addon(Redactor())
+        proxy.add_addon(Observer())
+        proxy.start_capture(meta())
+        response = self._session(proxy).get("https://api.example.com/v1?q=secret")
+        trace = proxy.stop_capture()
+        assert response.response.status == 200
+        recorded = trace.flows[0].transactions[0].request.url
+        assert "secret" not in recorded and "xxxxxx" in recorded
+        # Observers downstream of the rewrite see the wire request.
+        assert seen_by_observer == [recorded]
+
+    def test_rewrite_short_circuit_skips_network(self, echo_world):
+        network, _, proxy = echo_world
+        from repro.http.message import Response
+
+        class Blocker:
+            def rewrite_request(self, flow, request):
+                return Response.build(403, b"blocked", "text/plain")
+
+        proxy.add_addon(Blocker())
+        proxy.start_capture(meta())
+        response = self._session(proxy).get("https://api.example.com/x")
+        trace = proxy.stop_capture()
+        assert response.response.status == 403
+        # The transaction records the request with the synthetic response.
+        assert trace.flows[0].transactions[0].response.status == 403
+
+    def test_raising_rewriter_is_isolated(self, echo_world):
+        """Satellite regression: a broken rewriter must never corrupt a
+        flow mid-rewrite — its error is logged, the original request is
+        forwarded and recorded unchanged."""
+        _, _, proxy = echo_world
+
+        class Broken:
+            def rewrite_request(self, flow, request):
+                half_done = request.copy()
+                half_done.headers.set("X-Half-Done", "1")
+                raise RuntimeError("exploded mid-rewrite")
+
+        proxy.add_addon(Broken())
+        proxy.start_capture(meta())
+        response = self._session(proxy).get("https://api.example.com/v1?q=ok")
+        trace = proxy.stop_capture()
+        assert response.response.status == 200
+        assert proxy.addon_errors
+        event, name, err = proxy.addon_errors[0]
+        assert event == "rewrite_request"
+        assert "exploded mid-rewrite" in err
+        assert "q=ok" in trace.flows[0].transactions[0].request.url
+
+    def test_raising_rewriter_discards_partial_rewrite(self, echo_world):
+        """An addon that rewrites then raises has its rewrite discarded;
+        a later healthy addon still runs against the pre-failure request."""
+        _, _, proxy = echo_world
+
+        class RewritesThenRaises:
+            def rewrite_request(self, flow, request):
+                half_done = request.copy()
+                half_done.headers.set("X-Half-Done", "1")
+                raise RuntimeError("boom")
+
+        class Healthy:
+            def rewrite_request(self, flow, request):
+                rewritten = request.copy()
+                rewritten.headers.set("X-Rewritten", "yes")
+                return rewritten
+
+        proxy.add_addon(RewritesThenRaises())
+        proxy.add_addon(Healthy())
+        proxy.start_capture(meta())
+        self._session(proxy).get("https://api.example.com/clean")
+        trace = proxy.stop_capture()
+        recorded = trace.flows[0].transactions[0].request
+        assert "/clean" in recorded.url
+        assert ("X-Rewritten", "yes") in recorded.headers
+        assert all(name != "X-Half-Done" for name, _ in recorded.headers)

@@ -40,6 +40,7 @@ from repro.qa.faults import (
     FaultPlan,
     check_addon_chaos,
     check_kill_resume,
+    check_mitigation_chaos,
     check_serve_snapshot,
     check_transport_chaos,
     tear_journal,
@@ -337,6 +338,32 @@ class TestAddonChaos:
         event, name, message = proxy.addon_errors[0]
         assert "ExplodingAddon" in name
         assert "exploding addon" in message
+
+
+class TestMitigationChaos:
+    def test_raising_rewrite_stage_is_inert(self, small_scenario, small_world):
+        specs, _, _ = small_world
+        plan = FaultPlan(addon_chaos=True, addon_every=2)
+        divergences, stats = check_mitigation_chaos(
+            small_scenario, specs, plan, _identity_mutate
+        )
+        assert divergences == []
+        assert stats["rewrite_errors"] > 0
+
+    def test_mitigate_mutation_canary(self, small_scenario):
+        """A corrupted mitigated-path study must be caught by the oracle."""
+
+        def bump(study):
+            study.analyses()[0].aa_flows += 1
+            return study
+
+        report = run_oracle(small_scenario, mutators={"mitigate": bump})
+        assert not report.ok
+        assert report.stats["mitigate_checks"] >= 4
+        assert all(
+            d.component.startswith("mitigate") for d in report.divergences
+        )
+        assert any("aa_flows" in d.path for d in report.divergences)
 
 
 class TestServeSnapshot:
