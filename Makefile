@@ -10,8 +10,8 @@ FUZZ_SEED ?= 0
 FUZZ_ROUNDS ?= 25
 
 .PHONY: test bench bench-all bench-check bench-stream bench-serve bench-qa \
-	bench-scaling bench-columnar bench-campaign bench-mitigate fuzz fuzz-smoke \
-	serve clean
+	bench-scaling bench-columnar bench-campaign bench-mitigate bench-ingest \
+	fuzz fuzz-smoke serve clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -89,6 +89,18 @@ bench-mitigate:
 	$(PYTHON) benchmarks/check_regression.py BENCH_mitigate.json \
 		--baseline benchmarks/BENCH_mitigate.json --tolerance 0.50
 
+# Ingest under load: mixed read/upload traffic against the live server
+# with a background analysis worker.  Runs without --benchmark-only so
+# the direct acceptance assert executes too: read p50 under concurrent
+# ingest must stay within 20% of the read-only baseline; checked
+# against the recorded baseline (first run records it).
+bench-ingest:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/test_bench_ingest.py \
+		--benchmark-json=BENCH_ingest.json -q
+	$(PYTHON) benchmarks/check_regression.py BENCH_ingest.json \
+		--baseline benchmarks/BENCH_ingest.json --tolerance 0.50
+
 # Fuzzing-harness throughput (scenario generation + oracle scenarios/sec).
 bench-qa:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
@@ -124,11 +136,13 @@ bench-all:
 
 # Run the pipeline bench and fail on >20% mean regression against the
 # recorded baseline (benchmarks/BENCH_baseline.json; first run records it).
-bench-check: bench bench-scaling bench-columnar bench-campaign bench-mitigate
+bench-check: bench bench-scaling bench-columnar bench-campaign bench-mitigate \
+		bench-ingest
 	$(PYTHON) benchmarks/check_regression.py BENCH_pipeline.json
 
 clean:
 	rm -f BENCH_pipeline.json BENCH_all.json BENCH_stream.json BENCH_serve.json \
 		BENCH_qa.json BENCH_scaling.json BENCH_columnar.json \
-		BENCH_campaign.json BENCH_mitigate.json repro-fail-*.json
+		BENCH_campaign.json BENCH_mitigate.json BENCH_ingest.json \
+		repro-fail-*.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

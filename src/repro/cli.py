@@ -168,9 +168,33 @@ def _preferences_from_args(args) -> PrivacyPreferences:
     return preferences
 
 
+def _recommend_json_payload(study, preferences) -> dict:
+    """``{os: recommend_payload(...)}`` for every OS the study covers.
+
+    The inner etag is empty — exactly the shape an ingest job's
+    ``recommendations`` section carries, so CI can diff the two
+    byte-for-byte (see the ``ingest-smoke`` job).
+    """
+    from .serve.app import recommend_payload
+
+    oses = sorted(
+        {os_name for result in study.services for (os_name, _medium) in result.sessions}
+    )
+    return {
+        os_name: recommend_payload(study, preferences, os_name, etag="")
+        for os_name in oses
+    }
+
+
 def cmd_recommend(args) -> int:
     study = _build_study(args)
     preferences = _preferences_from_args(args)
+    if getattr(args, "json", False):
+        from .serve.app import canonical_json
+
+        payload = _recommend_json_payload(study, preferences)
+        print(canonical_json(payload).decode("utf-8"))
+        return 0
     recommender = Recommender(study, preferences)
     for os_name in ("android", "ios"):
         print(f"--- {os_name} ---")
@@ -289,6 +313,7 @@ def cmd_serve(args) -> int:
     import logging
 
     from .serve import LruTtlCache, RateLimiter, ResultStore, ServeApp, ServeServer
+    from .serve.server import MAX_BODY_BYTES
 
     logging.basicConfig(level=logging.INFO, format="%(message)s")
     workers = _resolve_workers(args.workers)
@@ -296,10 +321,28 @@ def cmd_serve(args) -> int:
     limiter = None
     if args.rate > 0:
         limiter = RateLimiter(rate=args.rate, burst=args.burst or max(1, int(args.rate)))
+    ingest = None
+    max_body_bytes = MAX_BODY_BYTES
+    if getattr(args, "ingest_dir", None):
+        from .ingest import IngestService
+
+        ingest = IngestService(
+            args.ingest_dir,
+            executor=args.ingest_executor,
+            workers=_resolve_workers(args.ingest_workers),
+            per_tenant=args.tenant_queue,
+            max_queued=args.ingest_queue,
+            tenant_rate=args.ingest_rate,
+            max_upload_bytes=args.max_upload_bytes,
+        )
+        # Leave headroom over the app-level upload cap so oversize
+        # uploads get the app's 413 payload instead of a dropped socket.
+        max_body_bytes = max(MAX_BODY_BYTES, args.max_upload_bytes + 64 * 1024)
     app = ServeApp(
         store,
         cache=LruTtlCache(maxsize=args.cache_size, ttl=args.cache_ttl),
         limiter=limiter,
+        ingest=ingest,
     )
     server = ServeServer(
         app,
@@ -308,14 +351,128 @@ def cmd_serve(args) -> int:
         max_concurrency=workers,
         request_timeout=args.timeout,
         drain_timeout=args.drain_timeout,
+        max_body_bytes=max_body_bytes,
     )
     snapshot = store.snapshot
     print(
         f"serving {snapshot.service_count} service(s) from {args.result} "
         f"({snapshot.source}, etag {snapshot.etag}) on http://{args.host}:{args.port}"
     )
+    if ingest is not None:
+        ingest.start(threads=args.ingest_threads)
+        print(
+            f"ingest enabled: jobs under {args.ingest_dir} on "
+            f"{ingest.engine!r} ({args.ingest_threads} worker thread(s))"
+        )
     server.run(install_signal_handlers=True)
+    if ingest is not None:
+        # Drain the job workers the same way the listener drained:
+        # finish the record in flight, park the rest durably for resume.
+        ingest.shutdown(timeout=args.drain_timeout)
     print("drained; bye")
+    return 0
+
+
+def _load_upload_body(path) -> bytes:
+    """Turn ``repro upload PATH`` input into framed upload bytes.
+
+    A directory is a saved dataset — encoded as one framed bundle.  A
+    file must already be a codec-framed record or bundle (e.g. written
+    by ``repro.net.codec.write_record``/``write_bundle``).
+    """
+    import os
+
+    from .net import codec
+
+    if os.path.isdir(path):
+        from .experiment.dataset import Dataset
+
+        dataset = Dataset.load(path)
+        return codec.frame(codec.KIND_BUNDLE, codec.encode_bundle(list(dataset)))
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def cmd_upload(args) -> int:
+    """Upload a trace to a running ingest server; optionally wait."""
+    import http.client
+    import json
+    import time
+
+    body = _load_upload_body(args.path)
+    headers = {
+        "Content-Type": "application/octet-stream",
+        "X-Client-Id": args.tenant,
+    }
+
+    def request(method, path, payload=None):
+        conn = http.client.HTTPConnection(args.host, args.port, timeout=args.timeout)
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        except (ConnectionError, http.client.HTTPException, OSError) as exc:
+            # A server that rejects an over-limit body mid-upload resets
+            # the socket instead of answering; report it, don't traceback.
+            raise SystemExit(
+                f"connection to {args.host}:{args.port} failed: {exc} "
+                "(is the server running with --ingest-dir, and the upload "
+                "within its --max-upload-bytes?)"
+            ) from None
+        finally:
+            conn.close()
+
+    status, response_body = request("POST", "/v1/traces", body)
+    if status != 202:
+        print(f"upload rejected: HTTP {status} {response_body.decode('utf-8', 'replace').strip()}", file=sys.stderr)
+        return 1
+    accepted = json.loads(response_body)
+    job_id = accepted["job"]
+    print(
+        f"accepted job {job_id} ({accepted['records']} record(s), "
+        f"etag {accepted['etag']})",
+        file=sys.stderr,
+    )
+    if not args.wait:
+        print(job_id)
+        return 0
+
+    deadline = time.monotonic() + args.wait_timeout
+    state = accepted["state"]
+    while time.monotonic() < deadline:
+        status, response_body = request("GET", f"/v1/jobs/{job_id}")
+        if status != 200:
+            print(f"status poll failed: HTTP {status}", file=sys.stderr)
+            return 1
+        job = json.loads(response_body)
+        state = job["state"]
+        if state in ("done", "failed"):
+            break
+        time.sleep(args.poll_interval)
+    if state == "failed":
+        print(f"job {job_id} failed: {job.get('error', '')}", file=sys.stderr)
+        return 1
+    if state != "done":
+        print(f"timed out waiting for job {job_id} (state {state})", file=sys.stderr)
+        return 1
+
+    status, result = request("GET", f"/v1/jobs/{job_id}/result")
+    if status != 200:
+        print(f"result fetch failed: HTTP {status}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "wb") as handle:
+            handle.write(result)
+        print(f"wrote result to {args.out}", file=sys.stderr)
+    if args.print == "result":
+        sys.stdout.buffer.write(result)
+    elif args.print == "recommendations":
+        from .serve.app import canonical_json
+
+        payload = json.loads(result)
+        print(canonical_json(payload["recommendations"]).decode("utf-8"))
+    else:
+        print(job_id)
     return 0
 
 
@@ -599,6 +756,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="preference JSON (weights/tracker_aversion/plaintext_aversion); "
         "same schema as the POST /v1/recommend body's 'preferences' field",
     )
+    rec_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print canonical JSON ({os: recommend payload}) instead of the "
+        "table — byte-comparable to an ingest job's recommendations section",
+    )
     rec_parser.set_defaults(func=cmd_recommend)
 
     serve_parser = sub.add_parser(
@@ -646,7 +809,89 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--no-recon", action="store_true", help="skip ReCon training at store load"
     )
+    serve_parser.add_argument(
+        "--ingest-dir",
+        help="enable POST /v1/traces: durable job state lives here "
+        "(jobs parked by a SIGTERM drain resume from it on restart)",
+    )
+    serve_parser.add_argument(
+        "--ingest-executor",
+        choices=["auto", "serial", "thread", "process"],
+        default="serial",
+        help="repro.par backend for uploaded-trace analysis "
+        "(results are byte-identical for every choice)",
+    )
+    serve_parser.add_argument(
+        "--ingest-workers",
+        type=int,
+        default=1,
+        help="executor workers per ingest job (0 = one per CPU core)",
+    )
+    serve_parser.add_argument(
+        "--ingest-threads",
+        type=int,
+        default=1,
+        help="background job-worker threads feeding off the queue",
+    )
+    serve_parser.add_argument(
+        "--max-upload-bytes",
+        type=int,
+        default=8 * 1024 * 1024,
+        help="largest accepted upload body (413 above this)",
+    )
+    serve_parser.add_argument(
+        "--tenant-queue",
+        type=int,
+        default=8,
+        help="max queued jobs per tenant (429 above this)",
+    )
+    serve_parser.add_argument(
+        "--ingest-queue",
+        type=int,
+        default=64,
+        help="max queued jobs across all tenants (503 above this)",
+    )
+    serve_parser.add_argument(
+        "--ingest-rate",
+        type=float,
+        default=0.0,
+        help="per-tenant upload rate limit in jobs/second (0 = unlimited)",
+    )
     serve_parser.set_defaults(func=cmd_serve)
+
+    upload_parser = sub.add_parser(
+        "upload", help="upload a trace to a running ingest server"
+    )
+    upload_parser.add_argument(
+        "path",
+        help="a saved dataset directory (sent as one bundle) or a "
+        "codec-framed record/bundle file",
+    )
+    upload_parser.add_argument("--host", default="127.0.0.1")
+    upload_parser.add_argument("--port", type=int, default=8080)
+    upload_parser.add_argument(
+        "--tenant", default="cli", help="tenant identity (X-Client-Id header)"
+    )
+    upload_parser.add_argument(
+        "--wait", action="store_true", help="poll until the job completes"
+    )
+    upload_parser.add_argument(
+        "--wait-timeout", type=float, default=300.0, help="max seconds to wait"
+    )
+    upload_parser.add_argument(
+        "--poll-interval", type=float, default=0.2, help="seconds between polls"
+    )
+    upload_parser.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request HTTP timeout"
+    )
+    upload_parser.add_argument("--out", help="write the raw result bytes to a file")
+    upload_parser.add_argument(
+        "--print",
+        choices=["job", "result", "recommendations"],
+        default="job",
+        help="what to print on stdout after completion (with --wait)",
+    )
+    upload_parser.set_defaults(func=cmd_upload)
 
     catalog_parser = sub.add_parser("catalog", help="list the 50 services")
     catalog_parser.set_defaults(func=cmd_catalog)

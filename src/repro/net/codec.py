@@ -53,6 +53,7 @@ VERSION = 1
 KIND_TRACE = 1
 KIND_RECORD = 2
 KIND_ABATCH = 3  # columnar analysis batch (repro.analysis.columnar)
+KIND_BUNDLE = 4  # upload bundle: u32 record count + records back-to-back
 
 HEADER_SIZE = len(MAGIC) + 2  # magic + version byte + kind byte
 
@@ -383,38 +384,33 @@ def decode_trace(data: bytes) -> Trace:
     return trace
 
 
-def decode_record(data: bytes):
-    """Parse a blob produced by :func:`encode_record` (strict)."""
+def _get_record(buf: bytes, pos: int):
     from ..experiment.dataset import SessionRecord
     from ..pii.types import PiiType
 
-    try:
-        service, pos = _get_str(data, 0)
-        os_name, pos = _get_str(data, pos)
-        medium, pos = _get_str(data, pos)
-        (duration,) = _F64.unpack_from(data, pos)
-        pos += 8
-        (gt_count,) = _U32.unpack_from(data, pos)
+    service, pos = _get_str(buf, pos)
+    os_name, pos = _get_str(buf, pos)
+    medium, pos = _get_str(buf, pos)
+    (duration,) = _F64.unpack_from(buf, pos)
+    pos += 8
+    (gt_count,) = _U32.unpack_from(buf, pos)
+    pos += 4
+    ground_truth: dict = {}
+    for _ in range(gt_count):
+        code, pos = _get_str(buf, pos)
+        try:
+            pii_type = PiiType(code)
+        except ValueError as exc:
+            raise CodecError(f"unknown PII type in record: {exc}") from exc
+        (value_count,) = _U32.unpack_from(buf, pos)
         pos += 4
-        ground_truth: dict = {}
-        for _ in range(gt_count):
-            code, pos = _get_str(data, pos)
-            try:
-                pii_type = PiiType(code)
-            except ValueError as exc:
-                raise CodecError(f"unknown PII type in record: {exc}") from exc
-            (value_count,) = _U32.unpack_from(data, pos)
-            pos += 4
-            values = []
-            for _ in range(value_count):
-                value, pos = _get_str(data, pos)
-                values.append(value)
-            ground_truth[pii_type] = values
-        trace, pos = _get_trace(data, pos)
-    except (struct.error, IndexError) as exc:
-        raise CodecError(f"truncated record data: {exc}") from exc
-    _expect_end(data, pos)
-    return SessionRecord(
+        values = []
+        for _ in range(value_count):
+            value, pos = _get_str(buf, pos)
+            values.append(value)
+        ground_truth[pii_type] = values
+    trace, pos = _get_trace(buf, pos)
+    record = SessionRecord(
         service=service,
         os_name=os_name,
         medium=medium,
@@ -422,6 +418,46 @@ def decode_record(data: bytes):
         ground_truth=ground_truth,
         duration=duration,
     )
+    return record, pos
+
+
+def decode_record(data: bytes):
+    """Parse a blob produced by :func:`encode_record` (strict)."""
+    try:
+        record, pos = _get_record(data, 0)
+    except (struct.error, IndexError) as exc:
+        raise CodecError(f"truncated record data: {exc}") from exc
+    _expect_end(data, pos)
+    return record
+
+
+def encode_bundle(records) -> bytes:
+    """Serialize a sequence of session records as one upload bundle.
+
+    A bundle is ``u32 count`` followed by the records back-to-back in
+    the given order; order is preserved through decode so an uploaded
+    dataset analyzes in the same sequence the offline pipeline would.
+    """
+    records = list(records)
+    buf = bytearray(_U32.pack(len(records)))
+    for record in records:
+        buf += encode_record(record)
+    return bytes(buf)
+
+
+def decode_bundle(data: bytes) -> list:
+    """Parse a blob produced by :func:`encode_bundle` (strict)."""
+    try:
+        (count,) = _U32.unpack_from(data, 0)
+        pos = 4
+        records = []
+        for _ in range(count):
+            record, pos = _get_record(data, pos)
+            records.append(record)
+    except (struct.error, IndexError) as exc:
+        raise CodecError(f"truncated bundle data: {exc}") from exc
+    _expect_end(data, pos)
+    return records
 
 
 def record_content_hash(record) -> str:
@@ -495,3 +531,15 @@ def read_record(path: Union[str, Path]):
     path = Path(path)
     data = path.read_bytes()
     return decode_record(_check_header(data, KIND_RECORD, path))
+
+
+def write_bundle(path: Union[str, Path], records) -> None:
+    """Atomically write an upload bundle as a framed binary file."""
+    atomic_write_bytes(path, _header(KIND_BUNDLE) + encode_bundle(records))
+
+
+def read_bundle(path: Union[str, Path]) -> list:
+    """Read a framed binary bundle file written by :func:`write_bundle`."""
+    path = Path(path)
+    data = path.read_bytes()
+    return decode_bundle(_check_header(data, KIND_BUNDLE, path))

@@ -74,6 +74,16 @@ class Executor:
         """
         raise NotImplementedError
 
+    def imap_analyze(self, records, specs: list, recon):
+        """Streaming :meth:`map_analyze`: yield one
+        :class:`~repro.core.pipeline.SessionAnalysis` per record, in
+        input order, with at most a bounded window in flight.  The
+        ingest worker loop consumes this so a job's progress can be
+        journaled (and the job parked for resume) between records
+        instead of only after a whole batch.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} workers={self.workers}>"
 
@@ -138,6 +148,13 @@ class SerialExecutor(Executor):
         for start, stop in shard_ranges:
             yield context.run_shard(start, stop)
 
+    def imap_analyze(self, records, specs: list, recon):
+        from ..core.pipeline import analyze_session
+
+        by_slug = {spec.slug: spec for spec in specs}
+        for record in records:
+            yield analyze_session(record, by_slug[record.service], recon=recon)
+
 
 class ThreadExecutor(Executor):
     """Thread-pool backend (the pre-existing ``workers=N`` behavior)."""
@@ -192,6 +209,25 @@ class ThreadExecutor(Executor):
                 pool,
                 lambda item: context.run_shard(item[0], item[1]),
                 ranges,
+                self.workers * 2,
+            )
+
+    def imap_analyze(self, records, specs: list, recon):
+        from ..core.pipeline import analyze_session
+
+        by_slug = {spec.slug: spec for spec in specs}
+        records = list(records)
+        if self.workers <= 1 or len(records) <= 1:
+            for record in records:
+                yield analyze_session(record, by_slug[record.service], recon=recon)
+            return
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            yield from _stream_windowed(
+                pool,
+                lambda record: analyze_session(
+                    record, by_slug[record.service], recon=recon
+                ),
+                records,
                 self.workers * 2,
             )
 
@@ -295,6 +331,33 @@ class ProcessExecutor(Executor):
                 pool, tasks.campaign_shard, ranges, workers * 2
             ):
                 yield CampaignAggregate.from_dict(payload)
+
+    def imap_analyze(self, records, specs: list, recon):
+        from ..core.pipeline import SessionAnalysis
+        from ..net import codec
+
+        records = list(records)
+        if not records:
+            return
+        workers = min(self.workers, len(records))
+        blobs = [codec.encode_record(record) for record in records]
+        if workers <= 1:
+            # Degenerate pool sizes skip IPC entirely; results are
+            # byte-identical either way, this is purely less overhead.
+            tasks.init_worker(specs, recon)
+            for blob in blobs:
+                yield SessionAnalysis.from_dict(tasks.analyze_blob(blob))
+            return
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_mp_context(),
+            initializer=tasks.init_worker,
+            initargs=(list(specs), recon),
+        ) as pool:
+            for payload in _stream_windowed(
+                pool, tasks.analyze_blob, blobs, workers * 2
+            ):
+                yield SessionAnalysis.from_dict(payload)
 
 
 def default_executor_name() -> str:

@@ -1,7 +1,7 @@
 """Deterministic fault plans and their recovery invariants.
 
 A :class:`FaultPlan` is derived from the scenario seed, serializes to
-JSON, and drives four chaos checks:
+JSON, and drives five chaos checks:
 
 - **Kill + resume** (``kill_events``): abort the sharded streamer after
   N published events (no final snapshot), optionally tear the journal
@@ -20,6 +20,12 @@ JSON, and drives four chaos checks:
   streaming checkpoint, append torn half-written tails to the journal
   (including a mid-UTF-8 cut), force reloads, and require every served
   snapshot to stay byte-identical — serve never exposes a torn write.
+- **Ingest faults** (``ingest_check``): a truncated upload body must be
+  rejected atomically (no job directory, no journal line, no queue
+  slot), a torn ingest job-journal tail must not stop recovery from
+  requeuing parked jobs, and a worker crash mid-analysis must leave the
+  job resumable — in every recovered case the replayed result bytes
+  must equal the offline no-recon study's.
 """
 
 from __future__ import annotations
@@ -58,12 +64,15 @@ class FaultPlan:
     addon_chaos: bool = True
     addon_every: int = 3
     serve_check: bool = True
+    ingest_check: bool = True
 
     @classmethod
     def from_rng(cls, rng) -> "FaultPlan":
         ordinals = {}
         for _ in range(rng.randint(1, 4)):
             ordinals[rng.randrange(0, 60)] = rng.choice(FAULT_KINDS)
+        # New fields draw *after* every existing one so plans derived
+        # from old seeds keep their original values.
         return cls(
             kill_events=tuple(sorted(rng.sample(range(3, 300), rng.randint(1, 2)))),
             torn_tail=rng.choice(("",) + TORN_MODES),
@@ -73,6 +82,7 @@ class FaultPlan:
             addon_chaos=rng.random() < 0.8,
             addon_every=rng.randint(2, 5),
             serve_check=rng.random() < 0.8,
+            ingest_check=rng.random() < 0.8,
         )
 
     def to_dict(self) -> dict:
@@ -91,6 +101,7 @@ class FaultPlan:
             addon_chaos=bool(data.get("addon_chaos", True)),
             addon_every=int(data.get("addon_every", 3)),
             serve_check=bool(data.get("serve_check", True)),
+            ingest_check=bool(data.get("ingest_check", True)),
         )
 
 
@@ -354,6 +365,115 @@ def check_serve_snapshot(scenario, specs, dataset, mutate):
     return out
 
 
+def check_ingest_faults(scenario, specs, dataset, plan, mutate):
+    """Uploads fail atomically; parked and crashed jobs resume identically.
+
+    Three invariants for the ingest data plane:
+
+    - a truncated upload body is rejected with ``CodecError`` and leaves
+      *nothing* behind — no job directory, no journal line, no queue slot;
+    - a torn job-journal tail (crash mid-append) must not stop recovery
+      from requeuing the job, and the replayed result must match the
+      offline no-recon study byte for byte;
+    - a worker crash mid-analysis leaves the job resumable: a fresh
+      service picks it up, skips the records already on disk, and still
+      produces the identical result bytes.
+    """
+    from ..ingest import IngestService, WorkerCrash, job_result_payload
+    from ..net import codec
+    from ..net.codec import CodecError
+    from ..serve.app import canonical_json
+
+    out = []
+    records = list(dataset)
+    if not records:
+        return out
+    body = codec.frame(codec.KIND_BUNDLE, codec.encode_bundle(records))
+    offline = analyze_dataset(dataset, specs, train_recon=False, workers=1)
+
+    def expected_result(job) -> bytes:
+        payload = job_result_payload(
+            job.job_id, job.etag, len(records), mutate("ingest", offline)
+        )
+        return canonical_json(payload) + b"\n"
+
+    # Truncated upload body: rejected, and rejected *atomically*.
+    with tempfile.TemporaryDirectory(prefix="repro-qa-ingest-") as tmp:
+        service = IngestService(tmp, executor="serial", specs=specs)
+        cut = max(1, min(plan.torn_bytes, len(body) - len(codec.MAGIC) - 2))
+        try:
+            service.submit(body[:-cut], tenant="chaos")
+            out.append(
+                _divergence(
+                    "ingest-faults[truncated]", "submit", "CodecError", "accepted"
+                )
+            )
+        except CodecError:
+            pass
+        jobs_dir = Path(tmp) / "jobs"
+        leftovers = sorted(p.name for p in jobs_dir.iterdir()) if jobs_dir.exists() else []
+        if leftovers:
+            out.append(
+                _divergence(
+                    "ingest-faults[truncated]", "jobs dir", "empty", repr(leftovers)
+                )
+            )
+        if service.queue.pending():
+            out.append(
+                _divergence(
+                    "ingest-faults[truncated]",
+                    "queue",
+                    "empty",
+                    f"{service.queue.pending()} pending",
+                )
+            )
+
+    # Torn job-journal tail: recovery requeues, replay is byte-identical.
+    with tempfile.TemporaryDirectory(prefix="repro-qa-ingest-") as tmp:
+        service = IngestService(tmp, executor="serial", specs=specs)
+        job = service.submit(body, tenant="chaos")
+        tear_journal(
+            Path(tmp) / "journal.jsonl", plan.torn_tail or "garbage", plan.torn_bytes
+        )
+        resumed = IngestService(tmp, executor="serial", specs=specs)
+        resumed.run_pending()
+        actual = resumed.store.result_bytes(job.job_id) or b'"<missing>"'
+        if actual != expected_result(job):
+            out.append(
+                _divergence(
+                    "ingest-faults[torn-journal]",
+                    "result",
+                    expected_result(job),
+                    actual,
+                )
+            )
+
+    # Worker crash mid-analysis: partial results survive, resume finishes.
+    with tempfile.TemporaryDirectory(prefix="repro-qa-ingest-") as tmp:
+        service = IngestService(tmp, executor="serial", specs=specs)
+        job = service.submit(body, tenant="chaos")
+        service.crash_after = 1
+        try:
+            service.run_pending()
+            out.append(
+                _divergence(
+                    "ingest-faults[crash]", "run_pending", "WorkerCrash", "completed"
+                )
+            )
+        except WorkerCrash:
+            pass
+        resumed = IngestService(tmp, executor="serial", specs=specs)
+        resumed.run_pending()
+        actual = resumed.store.result_bytes(job.job_id) or b'"<missing>"'
+        if actual != expected_result(job):
+            out.append(
+                _divergence(
+                    "ingest-faults[crash]", "result", expected_result(job), actual
+                )
+            )
+    return out
+
+
 def run_fault_checks(scenario, specs, dataset, expected, mutators=None):
     """Run every check the scenario's fault plan enables."""
     mutators = dict(mutators or {})
@@ -391,5 +511,9 @@ def run_fault_checks(scenario, specs, dataset, expected, mutators=None):
     if plan.serve_check:
         divergences.extend(check_serve_snapshot(scenario, specs, dataset, mutate))
         stats["fault_checks"] += 1
+
+    if plan.ingest_check:
+        divergences.extend(check_ingest_faults(scenario, specs, dataset, plan, mutate))
+        stats["fault_checks"] += 3
 
     return divergences, stats

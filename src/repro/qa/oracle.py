@@ -553,6 +553,47 @@ def run_oracle(scenario: Scenario, mutators=None, executors=("process",)) -> Ora
         except Exception as exc:  # invariants must never raise
             divergences.append(Divergence("psl[crash]", host, "no exception", repr(exc)))
 
+    # -- ingest service ------------------------------------------------------
+    # The server's second execution engine: uploading this scenario's
+    # records as one codec bundle and draining the job queue must
+    # produce result bytes identical to the offline pipeline assembled
+    # through the same payload builder.  Ingest analyzes with matching
+    # only (no ReCon training), so the reference here is the no-recon
+    # study.
+    import tempfile
+
+    from ..ingest import IngestService, job_result_payload
+    from ..net import codec
+    from ..serve.app import canonical_json
+
+    stats["ingest_checks"] = 0
+    offline_no_recon = (
+        reference
+        if not scenario.train_recon
+        else analyze_dataset(dataset, specs, train_recon=False, workers=1)
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-qa-ingest-") as ingest_tmp:
+        ingest = IngestService(ingest_tmp, executor="serial", specs=specs)
+        upload = codec.frame(codec.KIND_BUNDLE, codec.encode_bundle(list(dataset)))
+        ingest_job = ingest.submit(upload, tenant="oracle")
+        ingest.run_pending()
+        stats["ingest_checks"] += 1
+        ingest_actual = ingest.store.result_bytes(ingest_job.job_id) or b'"<missing>"'
+        ingest_expected = (
+            canonical_json(
+                job_result_payload(
+                    ingest_job.job_id,
+                    ingest_job.etag,
+                    len(dataset),
+                    mutate("ingest", offline_no_recon),
+                )
+            )
+            + b"\n"
+        )
+        if ingest_actual != ingest_expected:
+            path, want, got = first_divergent_field(ingest_expected, ingest_actual)
+            divergences.append(Divergence("ingest[bundle]", path, want, got))
+
     # -- fault plan ----------------------------------------------------------
     if scenario.fault_plan:
         from .faults import run_fault_checks

@@ -12,7 +12,14 @@ over a dependency-free asyncio HTTP API:
 ``GET /v1/services``      the studied services and where they leak
 ``GET /v1/services/{s}``  per-cell (OS x medium) leak and A&A detail
 ``POST /v1/recommend``    app-or-web verdicts under caller preferences
+``POST /v1/traces``       upload a codec-framed trace bundle for analysis
+``GET /v1/jobs/{id}``     ingest job state + progress
+``GET /v1/jobs/{id}/result``  incremental or final job results (ETagged)
 ========================  ====================================================
+
+The three job routes exist when the server is started with an
+:class:`repro.ingest.IngestService` (``repro serve --ingest-dir``); see
+:mod:`repro.ingest` for the upload data plane.
 
 Layering (see DESIGN §5d): :class:`ResultStore` (versioned, hot-
 reloading study snapshots) → :class:`LruTtlCache` (preference-keyed
@@ -24,7 +31,7 @@ closes the loop for ``make bench-serve``.
 
 from .app import Request, Response, ServeApp, canonical_json, recommend_payload
 from .cache import LruTtlCache
-from .loadgen import LoadReport, run_load
+from .loadgen import LoadReport, run_load, run_mixed_load
 from .metrics import Counter, Gauge, Histogram, Registry
 from .ratelimit import RateLimiter
 from .server import BackgroundServer, ServeServer
@@ -50,4 +57,5 @@ __all__ = [
     "dataset_from_journal",
     "recommend_payload",
     "run_load",
+    "run_mixed_load",
 ]

@@ -152,11 +152,13 @@ class ServeApp:
         cache: Optional[LruTtlCache] = None,
         limiter: Optional[RateLimiter] = None,
         registry: Optional[Registry] = None,
+        ingest=None,
         clock=time.monotonic,
     ) -> None:
         self.store = store
         self.cache = cache if cache is not None else LruTtlCache()
         self.limiter = limiter  # None = rate limiting disabled
+        self.ingest = ingest  # None = upload path disabled (read-only server)
         self.registry = registry if registry is not None else Registry()
         self._clock = clock
         self._started_at = clock()
@@ -193,8 +195,23 @@ class ServeApp:
         self.store_reloads = reg.gauge(
             "repro_serve_store_reloads_total", "Successful store hot reloads"
         )
+        self.ingest_accepted_total = reg.counter(
+            "repro_serve_ingest_accepted_total", "Uploads accepted as jobs"
+        )
+        self.ingest_rejected_total = reg.counter(
+            "repro_serve_ingest_rejected_total", "Uploads rejected", ("reason",)
+        )
 
     # -- dispatch ----------------------------------------------------------
+
+    def blocking(self, request: Request) -> bool:
+        """True when a request's handler does real work (decode + fsync)
+        and the server should dispatch it off the event loop."""
+        return (
+            self.ingest is not None
+            and request.method == "POST"
+            and request.path.split("?", 1)[0] == "/v1/traces"
+        )
 
     def handle(self, request: Request) -> Response:
         response = self._route(request)
@@ -219,7 +236,47 @@ class ServeApp:
             )
         if path == "/v1/recommend":
             return self._api(request, "POST", "/v1/recommend", self._handle_recommend)
+        if path == "/v1/traces":
+            return self._ingest_api(request, "POST", "/v1/traces", self._handle_upload)
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/") :]
+            if rest.endswith("/result") and "/" not in rest[: -len("/result")]:
+                job_id = rest[: -len("/result")]
+                return self._ingest_api(
+                    request,
+                    "GET",
+                    "/v1/jobs/{id}/result",
+                    lambda req: self._handle_job_result(req, job_id),
+                )
+            if rest and "/" not in rest:
+                return self._ingest_api(
+                    request,
+                    "GET",
+                    "/v1/jobs/{id}",
+                    lambda req: self._handle_job_status(req, rest),
+                )
         return error_response(404, f"no route for {path}", "other")
+
+    def _ingest_api(self, request: Request, method: str, route: str, handler) -> Response:
+        """Ingest path: method check + rate limit, no store snapshot.
+
+        Job responses are versioned by the *job's* content ETag, not
+        the result store's — an upload's result does not change when
+        the precomputed store hot-reloads.
+        """
+        if self.ingest is None:
+            return error_response(404, "ingest is disabled on this server", route)
+        if request.method != method:
+            return error_response(
+                405, f"{route} supports {method} only", route, {"Allow": method}
+            )
+        if self.limiter is not None and not self.limiter.allow(request.client_id):
+            self.ratelimit_dropped_total.inc()
+            retry_after = max(1, round(self.limiter.retry_after(request.client_id)))
+            return error_response(
+                429, "rate limit exceeded", route, {"Retry-After": str(retry_after)}
+            )
+        return handler(request)
 
     def _only(self, request: Request, method: str, route: str, handler) -> Response:
         if request.method != method:
@@ -387,4 +444,96 @@ class ServeApp:
             body=body,
             route=route,
             headers={"X-Cache": cache_state},
+        )
+
+    # -- ingest handlers ---------------------------------------------------
+
+    def _handle_upload(self, request: Request) -> Response:
+        # Imported here, not at module top: repro.ingest.service imports
+        # this module for canonical_json/recommend_payload.
+        from ..ingest import IngestError, QueueFull, RateLimited, UploadTooLarge
+        from ..net.codec import CodecError
+
+        route = "/v1/traces"
+        ingest = self.ingest
+        if len(request.body) > ingest.max_upload_bytes:
+            self.ingest_rejected_total.inc(labels=("too_large",))
+            return error_response(
+                413,
+                f"upload of {len(request.body)} bytes exceeds "
+                f"limit {ingest.max_upload_bytes}",
+                route,
+            )
+        try:
+            job = ingest.submit(request.body, tenant=request.client_id)
+        except UploadTooLarge as exc:
+            self.ingest_rejected_total.inc(labels=("too_large",))
+            return error_response(413, str(exc), route)
+        except (CodecError, IngestError) as exc:
+            self.ingest_rejected_total.inc(labels=("invalid",))
+            return error_response(400, str(exc), route)
+        except RateLimited as exc:
+            self.ingest_rejected_total.inc(labels=("rate",))
+            retry_after = max(1, round(exc.retry_after))
+            return error_response(
+                429, str(exc), route, {"Retry-After": str(retry_after)}
+            )
+        except QueueFull as exc:
+            scope = exc.scope
+            self.ingest_rejected_total.inc(labels=(f"queue_{scope}",))
+            status = 429 if scope == "tenant" else 503
+            return error_response(
+                status, str(exc), route, {"Retry-After": str(ingest.retry_after())}
+            )
+        self.ingest_accepted_total.inc()
+        payload = {
+            "job": job.job_id,
+            "state": job.state,
+            "tenant": job.tenant,
+            "records": job.records,
+            "etag": job.etag,
+        }
+        return json_response(
+            202, payload, route, {"Location": f"/v1/jobs/{job.job_id}"}
+        )
+
+    def _handle_job_status(self, request: Request, job_id: str) -> Response:
+        route = "/v1/jobs/{id}"
+        status = self.ingest.job_status(job_id)
+        if status is None:
+            return error_response(404, f"unknown job {job_id!r}", route)
+        return json_response(200, status, route)
+
+    def _handle_job_result(self, request: Request, job_id: str) -> Response:
+        from ..ingest import partial_result_payload
+
+        route = "/v1/jobs/{id}/result"
+        ingest = self.ingest
+        job = ingest.store.load(job_id)
+        if job is None:
+            return error_response(404, f"unknown job {job_id!r}", route)
+        if job.state == "failed":
+            return error_response(409, f"job failed: {job.error}", route)
+        if job.state != "done":
+            # Incremental results; no ETag while the body is still moving.
+            payload = partial_result_payload(job, ingest.store.load_results(job_id))
+            return json_response(200, payload, route)
+        etag = f'"{job.etag}"'
+        if_none_match = request.headers.get("if-none-match", "")
+        if etag in {tag.strip() for tag in if_none_match.split(",")}:
+            return Response(status=304, route=route, headers={"ETag": etag})
+        cache_key = ("job", job_id, job.etag)
+        body = self.cache.get(cache_key)
+        cache_state = "hit"
+        if body is None:
+            cache_state = "miss"
+            body = ingest.store.result_bytes(job_id)
+            if body is None:
+                return error_response(503, "result not yet durable; retry", route)
+            self.cache.put(cache_key, body)
+        return Response(
+            status=200,
+            body=body,
+            route=route,
+            headers={"ETag": etag, "X-Cache": cache_state},
         )

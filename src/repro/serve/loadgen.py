@@ -109,7 +109,8 @@ class _Connection:
         return body
 
     def request(self, method: str, path: str, body: bytes, headers: dict) -> tuple:
-        """Send one request; return ``(status, body)``.  Reconnects once."""
+        """Send one request; return ``(status, body, retry_after)``.
+        Reconnects once on a keep-alive race."""
         if self._sock is None:
             self._connect()
         lines = [f"{method} {path} HTTP/1.1", f"Host: {self.host}:{self.port}"]
@@ -134,6 +135,7 @@ class _Connection:
         status = int(status_line.split(b" ", 2)[1])
         content_length = 0
         close_after = False
+        retry_after = None
         while True:
             line = self._read_line()
             if not line:
@@ -144,10 +146,15 @@ class _Connection:
                 content_length = int(value.strip())
             elif name == b"connection" and value.strip().lower() == b"close":
                 close_after = True
+            elif name == b"retry-after":
+                try:
+                    retry_after = float(value.strip())
+                except ValueError:
+                    retry_after = None
         body = self._read_exact(content_length)
         if close_after:
             self.close()
-        return status, body
+        return status, body, retry_after
 
 
 def run_load(
@@ -161,6 +168,8 @@ def run_load(
     requests: int = 1000,
     warmup: int = 50,
     timeout: float = 10.0,
+    backoff_cap_s: float = 0.0,
+    stop: Optional[threading.Event] = None,
 ) -> LoadReport:
     """Drive the server closed-loop and measure what came back.
 
@@ -168,6 +177,14 @@ def run_load(
     every statistic) so steady-state numbers aren't polluted by cold
     caches or lazy imports.  The measured ``requests`` are then split
     across ``concurrency`` worker threads.
+
+    ``backoff_cap_s`` > 0 makes the client honor backpressure the way
+    the API contract intends: after a 429/503 it sleeps the server's
+    Retry-After hint, capped at ``backoff_cap_s`` (sleep time never
+    enters the latency samples).  With ``stop`` set, workers ignore
+    ``requests`` and run until the event fires — the mixed-load
+    harness uses this for background classes that must span the
+    foreground measurement window exactly.
     """
     base_headers = {"Connection": "keep-alive"}
     if body:
@@ -185,6 +202,8 @@ def run_load(
     shares = [requests // concurrency] * concurrency
     for i in range(requests % concurrency):
         shares[i] += 1
+    if stop is not None:
+        shares = [1] * concurrency  # share is ignored; spawn every worker
 
     lock = threading.Lock()
     latencies: list = []
@@ -196,17 +215,27 @@ def run_load(
         local_latencies = []
         local_counts: dict = {}
         local_errors = 0
+        sent = 0
         try:
-            for _ in range(share):
+            while (sent < share) if stop is None else not stop.is_set():
+                sent += 1
                 started = time.perf_counter()
                 try:
-                    status, _body = conn.request(method, path, body, base_headers)
+                    status, _body, retry_after = conn.request(
+                        method, path, body, base_headers
+                    )
                 except (ConnectionError, socket.timeout, OSError):
                     local_errors += 1
                     conn.close()
                     continue
                 local_latencies.append((time.perf_counter() - started) * 1000.0)
                 local_counts[status] = local_counts.get(status, 0) + 1
+                if backoff_cap_s > 0 and status in (429, 503):
+                    delay = min(retry_after or backoff_cap_s, backoff_cap_s)
+                    if stop is not None:
+                        stop.wait(delay)
+                    else:
+                        time.sleep(delay)
         finally:
             conn.close()
         with lock:
@@ -234,3 +263,99 @@ def run_load(
         latencies_ms=latencies,
         status_counts=status_counts,
     )
+
+
+@dataclass(frozen=True)
+class WorkloadClass:
+    """One request class inside a mixed closed-loop run.
+
+    A *foreground* class (the default) issues the run's full request
+    count and its completion defines the measurement window.  A
+    ``background=True`` class instead loops for exactly as long as the
+    foreground classes are running — the natural shape for "measure
+    reads while ingest runs continuously", where pre-sizing a request
+    count would either cut the pressure short or outlive the window.
+
+    ``backoff_cap_s`` > 0 makes the class honor Retry-After on 429/503
+    (capped) — a protocol-correct client rather than one that hammers
+    a saturated endpoint at line rate.  ``warmup`` overrides the run's
+    warmup count for this class (uploads want a couple of requests, not
+    fifty).
+    """
+
+    name: str
+    method: str
+    path: str
+    body: bytes = b""
+    headers: dict = field(default_factory=dict)
+    concurrency: int = 1
+    background: bool = False
+    backoff_cap_s: float = 0.0
+    warmup: Optional[int] = None
+
+
+def run_mixed_load(
+    host: str,
+    port: int,
+    classes: list,
+    requests: int = 1000,
+    warmup: int = 50,
+    timeout: float = 10.0,
+) -> dict:
+    """Drive several request classes concurrently; report each separately.
+
+    Each :class:`WorkloadClass` gets its own closed-loop worker threads
+    (``concurrency`` per class), all running over the same wall-clock
+    window; ``requests`` is the per-foreground-class total, split across
+    that class's workers.  Background classes start first and are
+    stopped when the last foreground class finishes, so they span the
+    measurement window exactly.  Returns ``{class_name: LoadReport}`` —
+    this is how ``make bench-ingest`` measures read-path latency *under*
+    concurrent upload traffic rather than in isolation.
+    """
+    reports: dict = {}
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def run_class(cls: WorkloadClass) -> None:
+        headers = {"Connection": "keep-alive"}
+        headers.update(cls.headers)
+        if cls.body and "Content-Type" not in headers:
+            headers["Content-Type"] = "application/json"
+        report = run_load(
+            host,
+            port,
+            method=cls.method,
+            path=cls.path,
+            body=cls.body,
+            headers=headers,
+            concurrency=cls.concurrency,
+            requests=requests,
+            warmup=warmup if cls.warmup is None else cls.warmup,
+            timeout=timeout,
+            backoff_cap_s=cls.backoff_cap_s,
+            stop=stop if cls.background else None,
+        )
+        with lock:
+            reports[cls.name] = report
+
+    foreground = [
+        threading.Thread(target=run_class, args=(cls,), daemon=True)
+        for cls in classes
+        if not cls.background
+    ]
+    background = [
+        threading.Thread(target=run_class, args=(cls,), daemon=True)
+        for cls in classes
+        if cls.background
+    ]
+    for thread in background:
+        thread.start()
+    for thread in foreground:
+        thread.start()
+    for thread in foreground:
+        thread.join()
+    stop.set()
+    for thread in background:
+        thread.join()
+    return reports

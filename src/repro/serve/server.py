@@ -62,7 +62,13 @@ class ProtocolError(Exception):
     """Malformed HTTP from the client (connection gets 400 + close)."""
 
 
-async def _read_request(reader: asyncio.StreamReader, client: str) -> Optional[Request]:
+class PayloadTooLarge(ProtocolError):
+    """Declared body over the server's cap (connection gets 413 + close)."""
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, client: str, max_body_bytes: int = MAX_BODY_BYTES
+) -> Optional[Request]:
     """Parse one request off the stream; ``None`` on clean EOF."""
     line = await reader.readline()
     if not line:
@@ -94,8 +100,12 @@ async def _read_request(reader: asyncio.StreamReader, client: str) -> Optional[R
             length = int(headers["content-length"])
         except ValueError:
             raise ProtocolError("bad Content-Length") from None
-        if length < 0 or length > MAX_BODY_BYTES:
-            raise ProtocolError("body too large")
+        if length < 0:
+            raise ProtocolError("bad Content-Length")
+        if length > max_body_bytes:
+            raise PayloadTooLarge(
+                f"declared body of {length} bytes exceeds limit {max_body_bytes}"
+            )
         body = await reader.readexactly(length)
     return Request(method=method.upper(), path=target, headers=headers, body=body, client=client)
 
@@ -125,6 +135,7 @@ class ServeServer:
         max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
         drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+        max_body_bytes: int = MAX_BODY_BYTES,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError("max_concurrency must be >= 1")
@@ -134,6 +145,7 @@ class ServeServer:
         self.max_concurrency = max_concurrency
         self.request_timeout = request_timeout
         self.drain_timeout = drain_timeout
+        self.max_body_bytes = max_body_bytes
         self.requests_served = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -213,9 +225,10 @@ class ServeServer:
         try:
             while not self._draining:
                 try:
-                    request = await _read_request(reader, client)
+                    request = await _read_request(reader, client, self.max_body_bytes)
                 except ProtocolError as exc:
-                    response = error_response(400, str(exc), "other")
+                    status = 413 if isinstance(exc, PayloadTooLarge) else 400
+                    response = error_response(status, str(exc), "other")
                     writer.write(_response_bytes(response, keep_alive=False))
                     await writer.drain()
                     return
@@ -232,9 +245,13 @@ class ServeServer:
                     response = await self._dispatch(request)
                     if self._draining:
                         keep_alive = False
+                    # Count before the write: write() can send() to the
+                    # socket directly, and send releases the GIL — a
+                    # client may read the whole response and observe the
+                    # counter before a post-write increment ever runs.
+                    self.requests_served += 1
                     writer.write(_response_bytes(response, keep_alive=keep_alive))
                     await writer.drain()
-                    self.requests_served += 1
                 finally:
                     self._inflight -= 1
                     self.app.inflight.dec()
@@ -275,6 +292,13 @@ class ServeServer:
     async def _call_handler(self, request: Request) -> Response:
         if self.app.handler_delay > 0:
             await asyncio.sleep(self.app.handler_delay)
+        # Handlers the app marks as blocking (upload admission: decode,
+        # validate, fsync) run on a thread so they stall only their own
+        # request, not every connection multiplexed on the event loop.
+        blocking = getattr(self.app, "blocking", None)
+        if blocking is not None and blocking(request):
+            assert self._loop is not None
+            return await self._loop.run_in_executor(None, self.app.handle, request)
         return self.app.handle(request)
 
     def _log_access(self, request: Request, response: Response, elapsed: float) -> None:

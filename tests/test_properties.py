@@ -3,7 +3,8 @@
 import random
 import string
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+import pytest
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
 from repro.http.message import Request, Response
 from repro.http.session import ClientSession
@@ -255,3 +256,95 @@ class TestMitigationRewriteProperty:
         other = rewrite_text(body, build_rewrite_plan([(PiiType.UNIQUE_ID, value, False, "hash")], seed=12))
         assert one == two
         assert one != other
+
+
+class TestIngestAdmissionProperty:
+    """The upload 400 mapping is *total*: any byte-level mutation of a
+    valid codec-framed bundle either registers a complete, replayable
+    job or raises ``CodecError``/``IngestError`` — never any other
+    exception, and never a partially-registered job (no job directory,
+    no journal line, no queue slot)."""
+
+    _body_cache = None
+
+    @classmethod
+    def _body(cls) -> bytes:
+        if cls._body_cache is None:
+            from tests.test_flow import make_flow, make_txn
+
+            from repro.experiment.dataset import SessionRecord
+            from repro.net import codec
+
+            records = []
+            for os_name, medium in (("android", "app"), ("ios", "web")):
+                trace = Trace(
+                    meta=SessionMeta(service="weather", os_name=os_name, medium=medium)
+                )
+                flow = make_flow(flow_id=1, hostname="api.weather.example")
+                flow.add_transaction(make_txn())
+                trace.add(flow)
+                records.append(
+                    SessionRecord(
+                        service="weather",
+                        os_name=os_name,
+                        medium=medium,
+                        trace=trace,
+                        ground_truth={PiiType.EMAIL: ["fuzz@qa.example"]},
+                        duration=40.0,
+                    )
+                )
+            cls._body_cache = codec.frame(
+                codec.KIND_BUNDLE, codec.encode_bundle(records)
+            )
+        return cls._body_cache
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data())
+    def test_byte_mutation_maps_totally(self, tmp_path_factory, data):
+        from repro.ingest import IngestError, IngestService
+        from repro.net.codec import CodecError
+
+        body = bytearray(self._body())
+        index = data.draw(st.integers(min_value=0, max_value=len(body) - 1))
+        body[index] = data.draw(st.integers(min_value=0, max_value=255))
+        mutated = bytes(body)
+
+        service = IngestService(
+            tmp_path_factory.mktemp("ingest-prop"), executor="serial"
+        )
+        try:
+            job = service.submit(mutated, tenant="fuzz")
+        except (CodecError, IngestError):
+            # Rejection is atomic: no trace of the upload anywhere.
+            assert list(service.store.jobs_dir.iterdir()) == []
+            assert not service.store.journal_path.exists()
+            assert service.queue.pending() == 0
+        else:
+            # Acceptance is complete: durable state and a queue slot.
+            registered = service.store.load(job.job_id)
+            assert registered is not None
+            assert registered.state == "queued"
+            assert service.store.upload_blob(job.job_id) == mutated
+            assert service.queue.pending() == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(cut=st.integers(min_value=1, max_value=200))
+    def test_truncation_always_codec_error(self, cut):
+        from repro.ingest import decode_upload
+        from repro.net.codec import CodecError
+
+        body = self._body()
+        assume(cut < len(body))
+        with pytest.raises(CodecError):
+            decode_upload(body[:cut])
+
+    @settings(max_examples=60, deadline=None)
+    @given(junk=st.binary(min_size=0, max_size=64))
+    def test_unframed_bytes_always_codec_error(self, junk):
+        from repro.ingest import decode_upload
+        from repro.net import codec
+        from repro.net.codec import CodecError
+
+        assume(not junk.startswith(codec.MAGIC))
+        with pytest.raises(CodecError):
+            decode_upload(junk)

@@ -39,6 +39,7 @@ from repro.qa.faults import (
     ExplodingAddon,
     FaultPlan,
     check_addon_chaos,
+    check_ingest_faults,
     check_kill_resume,
     check_mitigation_chaos,
     check_serve_snapshot,
@@ -363,6 +364,30 @@ class TestMitigationChaos:
         assert all(
             d.component.startswith("mitigate") for d in report.divergences
         )
+        assert any("aa_flows" in d.path for d in report.divergences)
+
+
+class TestIngestFaults:
+    @pytest.mark.parametrize("torn", ("",) + TORN_MODES)
+    def test_recovery_is_lossless(self, small_scenario, small_world, torn):
+        specs, dataset, _ = small_world
+        plan = FaultPlan(torn_tail=torn, torn_bytes=9)
+        divergences = check_ingest_faults(
+            small_scenario, specs, dataset, plan, _identity_mutate
+        )
+        assert divergences == []
+
+    def test_ingest_mutation_canary(self, small_scenario):
+        """A corrupted ingest job result must be caught by the oracle."""
+
+        def bump(study):
+            study.analyses()[0].aa_flows += 1
+            return study
+
+        report = run_oracle(small_scenario, mutators={"ingest": bump})
+        assert not report.ok
+        assert report.stats["ingest_checks"] >= 1
+        assert all(d.component.startswith("ingest") for d in report.divergences)
         assert any("aa_flows" in d.path for d in report.divergences)
 
 
