@@ -1,6 +1,11 @@
 PYTHON ?= python
 PYTHONPATH := src
 
+# Scratch directory for benchmark run output.  Recorded baselines live
+# under benchmarks/BENCH_*.json; the per-run JSON the pytest-benchmark
+# plugin writes is transient and must never land in the repo root.
+BENCH_DIR ?= .bench
+
 # `make serve` demo knobs.
 RESULT ?= demo-study
 PORT ?= 8080
@@ -10,8 +15,8 @@ FUZZ_SEED ?= 0
 FUZZ_ROUNDS ?= 25
 
 .PHONY: test bench bench-all bench-check bench-stream bench-serve bench-qa \
-	bench-scaling bench-columnar bench-campaign bench-mitigate bench-ingest \
-	fuzz fuzz-smoke serve clean
+	bench-scaling bench-columnar bench-campaign bench-campaign-scale \
+	bench-mitigate bench-ingest fuzz fuzz-smoke serve clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -19,24 +24,27 @@ test:
 # The end-to-end pipeline benchmark (collection + analysis over the
 # 6-service subset) — the number the fast-path work is measured by.
 bench:
+	@mkdir -p $(BENCH_DIR)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_bench_pipeline.py --benchmark-only \
-		--benchmark-json=BENCH_pipeline.json -q
+		--benchmark-json=$(BENCH_DIR)/BENCH_pipeline.json -q
 
 # Streaming throughput (flows/sec through the bus + sharded analyzers).
 bench-stream:
+	@mkdir -p $(BENCH_DIR)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_bench_stream.py --benchmark-only \
-		--benchmark-json=BENCH_stream.json -q
+		--benchmark-json=$(BENCH_DIR)/BENCH_stream.json -q
 
 # Serving throughput + latency: closed-loop load against the live HTTP
 # server (warm-cache >= 1,000 req/s acceptance bar, p50/p99 recorded),
 # checked against the recorded baseline (first run records it).
 bench-serve:
+	@mkdir -p $(BENCH_DIR)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_bench_serve.py --benchmark-only \
-		--benchmark-json=BENCH_serve.json -q
-	$(PYTHON) benchmarks/check_regression.py BENCH_serve.json \
+		--benchmark-json=$(BENCH_DIR)/BENCH_serve.json -q
+	$(PYTHON) benchmarks/check_regression.py $(BENCH_DIR)/BENCH_serve.json \
 		--baseline benchmarks/BENCH_serve.json
 
 # Executor scaling (serial/thread/process at 1-4 workers), binary-codec
@@ -45,10 +53,11 @@ bench-serve:
 # JSON, warm cache >= 5x) execute too; checked against the recorded
 # baseline (first run records it).
 bench-scaling:
+	@mkdir -p $(BENCH_DIR)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_bench_scaling.py \
-		--benchmark-json=BENCH_scaling.json -q
-	$(PYTHON) benchmarks/check_regression.py BENCH_scaling.json \
+		--benchmark-json=$(BENCH_DIR)/BENCH_scaling.json -q
+	$(PYTHON) benchmarks/check_regression.py $(BENCH_DIR)/BENCH_scaling.json \
 		--baseline benchmarks/BENCH_scaling.json --tolerance 0.50
 
 # Columnar aggregation engine vs the row-wise reference over a large
@@ -58,10 +67,11 @@ bench-scaling:
 # byte-identical; checked against the recorded baseline (first run
 # records it).
 bench-columnar:
+	@mkdir -p $(BENCH_DIR)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_bench_columnar.py \
-		--benchmark-json=BENCH_columnar.json -q
-	$(PYTHON) benchmarks/check_regression.py BENCH_columnar.json \
+		--benchmark-json=$(BENCH_DIR)/BENCH_columnar.json -q
+	$(PYTHON) benchmarks/check_regression.py $(BENCH_DIR)/BENCH_columnar.json \
 		--baseline benchmarks/BENCH_columnar.json --tolerance 0.50
 
 # Campaign engine: simulation throughput (sessions/sec, serial vs the
@@ -71,11 +81,26 @@ bench-columnar:
 # everywhere, and process >= 2x serial on multi-core hosts; checked
 # against the recorded baseline (first run records it).
 bench-campaign:
+	@mkdir -p $(BENCH_DIR)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_bench_campaign.py \
-		--benchmark-json=BENCH_campaign.json -q
-	$(PYTHON) benchmarks/check_regression.py BENCH_campaign.json \
+		--benchmark-json=$(BENCH_DIR)/BENCH_campaign.json -q
+	$(PYTHON) benchmarks/check_regression.py $(BENCH_DIR)/BENCH_campaign.json \
 		--baseline benchmarks/BENCH_campaign.json --tolerance 0.50
+
+# The million-user reduction bench: master- vs worker-side reduction
+# over KIND_CAGG partials covering 1,000,000 users, users/sec and peak
+# RSS recorded.  Runs without --benchmark-only so the direct acceptance
+# asserts execute too: byte-identity between both reduce paths, and
+# worker-reduce >= 2x master-reduce at 4 workers on multi-core hosts;
+# checked against the recorded baseline (first run records it).
+bench-campaign-scale:
+	@mkdir -p $(BENCH_DIR)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
+		benchmarks/test_bench_campaign_scale.py \
+		--benchmark-json=$(BENCH_DIR)/BENCH_campaign_scale.json -q
+	$(PYTHON) benchmarks/check_regression.py $(BENCH_DIR)/BENCH_campaign_scale.json \
+		--baseline benchmarks/BENCH_campaign_scale.json --tolerance 0.50
 
 # Mitigation data plane: inline decision latency (p50/p99) and
 # collection throughput with the policy on vs off.  Runs without
@@ -83,10 +108,11 @@ bench-campaign:
 # decision p50 under budget, residual-leak invariant, and the hard
 # < 5% off-overhead bar (min-of-rounds).
 bench-mitigate:
+	@mkdir -p $(BENCH_DIR)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_bench_mitigate.py \
-		--benchmark-json=BENCH_mitigate.json -q
-	$(PYTHON) benchmarks/check_regression.py BENCH_mitigate.json \
+		--benchmark-json=$(BENCH_DIR)/BENCH_mitigate.json -q
+	$(PYTHON) benchmarks/check_regression.py $(BENCH_DIR)/BENCH_mitigate.json \
 		--baseline benchmarks/BENCH_mitigate.json --tolerance 0.50
 
 # Ingest under load: mixed read/upload traffic against the live server
@@ -95,18 +121,20 @@ bench-mitigate:
 # ingest must stay within 20% of the read-only baseline; checked
 # against the recorded baseline (first run records it).
 bench-ingest:
+	@mkdir -p $(BENCH_DIR)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_bench_ingest.py \
-		--benchmark-json=BENCH_ingest.json -q
-	$(PYTHON) benchmarks/check_regression.py BENCH_ingest.json \
+		--benchmark-json=$(BENCH_DIR)/BENCH_ingest.json -q
+	$(PYTHON) benchmarks/check_regression.py $(BENCH_DIR)/BENCH_ingest.json \
 		--baseline benchmarks/BENCH_ingest.json --tolerance 0.50
 
 # Fuzzing-harness throughput (scenario generation + oracle scenarios/sec).
 bench-qa:
+	@mkdir -p $(BENCH_DIR)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks/test_bench_qa.py --benchmark-only \
-		--benchmark-json=BENCH_qa.json -q
-	$(PYTHON) benchmarks/check_regression.py BENCH_qa.json \
+		--benchmark-json=$(BENCH_DIR)/BENCH_qa.json -q
+	$(PYTHON) benchmarks/check_regression.py $(BENCH_DIR)/BENCH_qa.json \
 		--baseline benchmarks/BENCH_qa.json
 
 # Differential fuzzing with fault injection.  Every seed collects one
@@ -130,19 +158,18 @@ serve:
 
 # Every benchmark, including the full 50-service study fixtures.
 bench-all:
+	@mkdir -p $(BENCH_DIR)
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest \
 		benchmarks --benchmark-only \
-		--benchmark-json=BENCH_all.json -q
+		--benchmark-json=$(BENCH_DIR)/BENCH_all.json -q
 
 # Run the pipeline bench and fail on >20% mean regression against the
 # recorded baseline (benchmarks/BENCH_baseline.json; first run records it).
-bench-check: bench bench-scaling bench-columnar bench-campaign bench-mitigate \
-		bench-ingest
-	$(PYTHON) benchmarks/check_regression.py BENCH_pipeline.json
+bench-check: bench bench-scaling bench-columnar bench-campaign \
+		bench-campaign-scale bench-mitigate bench-ingest
+	$(PYTHON) benchmarks/check_regression.py $(BENCH_DIR)/BENCH_pipeline.json
 
 clean:
-	rm -f BENCH_pipeline.json BENCH_all.json BENCH_stream.json BENCH_serve.json \
-		BENCH_qa.json BENCH_scaling.json BENCH_columnar.json \
-		BENCH_campaign.json BENCH_mitigate.json BENCH_ingest.json \
-		repro-fail-*.json
+	rm -rf $(BENCH_DIR)
+	rm -f repro-fail-*.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

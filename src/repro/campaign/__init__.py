@@ -11,14 +11,20 @@ count, or merge order yields identical canonical bytes.
 """
 
 from .engine import (
+    REDUCE_MODES,
     USER_METRIC_KEYS,
+    AdaptiveSharder,
+    CampaignAborted,
     CampaignAggregate,
+    CampaignCheckpoint,
     CampaignContext,
     CampaignError,
     CohortAggregate,
+    checkpoint_key,
     default_shard_count,
     merge_campaigns,
     plan_shards,
+    reduce_campaign_blobs,
     run_campaign,
 )
 from .population import (
@@ -33,11 +39,17 @@ from .population import (
 from .report import cohort_summary_lines, render_campaign
 
 __all__ = [
+    "REDUCE_MODES",
     "USER_METRIC_KEYS",
+    "AdaptiveSharder",
+    "CampaignAborted",
     "CampaignAggregate",
+    "CampaignCheckpoint",
     "CampaignContext",
     "CampaignError",
     "CohortAggregate",
+    "checkpoint_key",
+    "reduce_campaign_blobs",
     "PersonaSampler",
     "PopulationError",
     "PopulationSpec",

@@ -28,7 +28,12 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import time
+from collections import deque
+from pathlib import Path
 from typing import Iterable, Optional, Sequence
+
+from ..ioutil import atomic_write_json
 
 from ..analysis.columnar import (
     AGG_AUTO,
@@ -58,9 +63,23 @@ USER_METRIC_KEYS = ("sessions", "flows_total", "aa_flows", "aa_bytes", "leak_eve
 #: Target users per shard; the shard plan is a pure function of N only.
 SHARD_TARGET_USERS = 256
 
+#: Reduction topologies: ``master`` is the serial reference fold,
+#: ``worker`` pushes the fold into the pool workers, ``auto`` picks
+#: worker whenever a parallel backend is in play.
+REDUCE_MODES = ("auto", "master", "worker")
+
+#: Default users between checkpoint writes when a checkpoint dir is set.
+CHECKPOINT_EVERY_USERS = 1024
+
 
 class CampaignError(Exception):
     """Raised on invalid campaign configuration or merge mismatches."""
+
+
+class CampaignAborted(CampaignError):
+    """Raised by the ``abort_after_users`` chaos hook — a deterministic
+    stand-in for kill -9 mid-campaign, used by the fault plan and the
+    CI resume smoke to exercise checkpoint recovery."""
 
 
 # ---------------------------------------------------------------------------
@@ -510,6 +529,210 @@ def plan_shards(population: int, shards: Optional[int] = None) -> list:
     return ranges
 
 
+def _offset_ranges(ranges: list, offset: int) -> list:
+    return [(start + offset, stop + offset) for start, stop in ranges]
+
+
+class AdaptiveSharder:
+    """Feedback-driven chunk planner for the worker-reduce driver.
+
+    Starts at the static :data:`SHARD_TARGET_USERS` chunk size, then
+    re-sizes from an EWMA of observed worker throughput so each chunk
+    lands near ``target_seconds`` of simulation — big enough that the
+    coordinator folds O(population / max_users) partials instead of
+    O(population / 256), small enough to stay observable.  Near the end
+    the remaining range is split across ``workers * 2`` chunks so one
+    straggler cannot serialize the tail.  Only the *boundaries* move:
+    user ``i`` is a pure function of (spec, services, seed, i), so the
+    merge algebra keeps every re-chunking byte-identical.
+    """
+
+    def __init__(
+        self,
+        population: int,
+        workers: int,
+        start: int = 0,
+        target_seconds: float = 2.0,
+        min_users: int = 32,
+        max_users: int = 8192,
+        initial: int = SHARD_TARGET_USERS,
+    ) -> None:
+        self.population = population
+        self.workers = max(1, workers)
+        self.next_start = start
+        self.target_seconds = target_seconds
+        self.min_users = max(1, min_users)
+        self.max_users = max(self.min_users, max_users)
+        self._size = max(self.min_users, min(initial, self.max_users))
+        self._rate: Optional[float] = None
+
+    def next_range(self) -> Optional[tuple]:
+        if self.next_start >= self.population:
+            return None
+        remaining = self.population - self.next_start
+        tail = max(self.min_users, math.ceil(remaining / (self.workers * 2)))
+        size = min(self._size, tail, remaining)
+        shard_range = (self.next_start, self.next_start + size)
+        self.next_start += size
+        return shard_range
+
+    def observe(self, users: int, elapsed: float) -> None:
+        if elapsed <= 0.0 or users <= 0:
+            return
+        rate = users / elapsed
+        self._rate = rate if self._rate is None else 0.5 * self._rate + 0.5 * rate
+        self._size = int(
+            min(self.max_users, max(self.min_users, self._rate * self.target_seconds))
+        )
+
+
+class _FixedPlan:
+    """Pre-planned chunk geometry (explicit ``shards=``) behind the
+    planner interface — deterministic chunking for tests and smokes."""
+
+    def __init__(self, ranges: list) -> None:
+        self._ranges = iter(ranges)
+
+    def next_range(self) -> Optional[tuple]:
+        return next(self._ranges, None)
+
+    def observe(self, users: int, elapsed: float) -> None:
+        pass
+
+
+def checkpoint_key(population: int, specs: Sequence, config: dict) -> str:
+    """Fingerprint of everything that determines a campaign's result —
+    resuming under a different configuration must fail loudly, not
+    silently merge incompatible partials."""
+    payload = {
+        "population": population,
+        "services": [spec.slug for spec in specs],
+        "config": config,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+class CampaignCheckpoint:
+    """Crash-safe checkpoint directory for resumable campaigns.
+
+    Layout: ``partial-<next_user>.cagg`` (the merged prefix aggregate
+    as a framed KIND_CAGG file) plus ``state.json`` naming the current
+    partial, its digest, the next unprocessed user index, and the
+    configuration key.  Both writes are atomic and ordered partial
+    first, so a crash between them leaves ``state.json`` pointing at
+    the previous fully-written partial — every on-disk state is
+    consistent.  Stale partials are garbage-collected only after the
+    state file has moved on.
+    """
+
+    STATE_FILE = "state.json"
+
+    def __init__(self, directory, key: str, every: Optional[int] = None) -> None:
+        self.directory = Path(directory)
+        self.key = key
+        self.every = (
+            CHECKPOINT_EVERY_USERS if every is None else max(1, int(every))
+        )
+        self._last_saved = 0
+
+    def load(self) -> Optional[tuple]:
+        """``(next_user, merged)`` from the last checkpoint, or ``None``
+        when the directory holds no state yet."""
+        from ..net import codec
+
+        state_path = self.directory / self.STATE_FILE
+        try:
+            state = json.loads(state_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            raise CampaignError(
+                f"unreadable campaign checkpoint {state_path}: {exc}"
+            ) from exc
+        if state.get("key") != self.key:
+            raise CampaignError(
+                f"checkpoint {state_path} was written by a different campaign "
+                "configuration (population/seed/spec/services/cohorts mismatch)"
+            )
+        partial_path = self.directory / state["partial"]
+        merged = codec.read_campaign(partial_path)
+        if merged.digest() != state["digest"]:
+            raise CampaignError(
+                f"checkpoint partial {partial_path} does not match the "
+                f"recorded digest {state['digest']}"
+            )
+        next_user = int(state["next_user"])
+        self._last_saved = next_user
+        return next_user, merged
+
+    def save(self, merged: CampaignAggregate, next_user: int) -> None:
+        from ..net import codec
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        name = f"partial-{next_user:012d}.cagg"
+        codec.write_campaign(self.directory / name, merged)
+        atomic_write_json(
+            self.directory / self.STATE_FILE,
+            {
+                "version": 1,
+                "key": self.key,
+                "next_user": next_user,
+                "partial": name,
+                "digest": merged.digest(),
+            },
+        )
+        for stale in self.directory.glob("partial-*.cagg"):
+            if stale.name != name:
+                stale.unlink(missing_ok=True)
+        self._last_saved = next_user
+
+    def maybe_save(self, merged: CampaignAggregate, next_user: int) -> bool:
+        if next_user - self._last_saved < self.every:
+            return False
+        self.save(merged, next_user)
+        return True
+
+
+class _ProgressLog:
+    """Progress lines with a sliding-window rate and ETA appended.
+
+    The prefix (``shard i/n`` on the master path) and the
+    ``done/population users simulated`` core are unchanged from the
+    original single-line format; the rate/ETA ride behind a ``|`` so
+    the line stays grep-stable for existing consumers.
+    """
+
+    def __init__(self, population: int, log, start: int = 0, window: int = 16) -> None:
+        self.population = population
+        self.log = log
+        self._samples: deque = deque([(time.monotonic(), start)], maxlen=window)
+
+    def update(self, prefix: str, done: int) -> None:
+        if self.log is None:
+            return
+        now = time.monotonic()
+        then, done_then = self._samples[0]
+        self._samples.append((now, done))
+        line = f"{prefix}: {done}/{self.population} users simulated"
+        if now > then and done > done_then:
+            rate = (done - done_then) / (now - then)
+            eta = (self.population - done) / rate
+            line += f" | {rate:.1f} users/s, ETA {eta:.0f}s"
+        self.log(line)
+
+
+def _resolve_reduce(reduce: str, engine) -> str:
+    if reduce not in REDUCE_MODES:
+        raise CampaignError(
+            f"unknown reduce mode {reduce!r} (choose one of {REDUCE_MODES})"
+        )
+    if reduce != "auto":
+        return reduce
+    return "worker" if engine.workers > 1 and engine.name != "serial" else "master"
+
+
 def run_campaign(
     population: int,
     seed: int = 7,
@@ -521,14 +744,37 @@ def run_campaign(
     workers: int = 1,
     agg: str = AGG_AUTO,
     log=None,
+    reduce: str = "auto",
+    checkpoint_dir=None,
+    resume: bool = False,
+    checkpoint_every: Optional[int] = None,
+    abort_after_users: Optional[int] = None,
 ) -> CampaignAggregate:
     """Simulate a population and return the merged campaign aggregate.
 
     ``executor`` is a :mod:`repro.par` backend (instance, name, or
-    ``None`` for serial); shard partials stream back through
-    :meth:`~repro.par.Executor.map_sessions` and fold immediately, so
-    memory stays flat at any population size.  ``cohorts`` is a
-    dimension list (``"os"``, ``"os,medium"``, ``"none"``, or a tuple).
+    ``None`` for serial); ``cohorts`` is a dimension list (``"os"``,
+    ``"os,medium"``, ``"none"``, or a tuple).  Memory stays flat at any
+    population size: partials stream back and fold immediately.
+
+    ``reduce`` picks the reduction topology.  ``master`` is the
+    reference: fixed :func:`plan_shards` geometry, every shard partial
+    shipped back and folded serially by the coordinator.  ``worker``
+    submits larger contiguous chunks so pool workers fold shard-sized
+    work locally and ship one partial per chunk — O(chunks) coordinator
+    merges instead of O(shards) — with chunk sizes driven by
+    :class:`AdaptiveSharder` unless ``shards`` pins the geometry.
+    ``auto`` (default) picks ``worker`` on parallel backends.  Both
+    modes produce identical ``canonical_bytes`` (oracle-pinned).
+
+    ``checkpoint_dir`` enables crash-safe periodic checkpoints (every
+    ``checkpoint_every`` users) through :class:`CampaignCheckpoint`;
+    ``resume=True`` continues from the directory's last consistent
+    state.  Chunks always fold in submission order, so the merged
+    aggregate covers the contiguous prefix ``[0, next_user)`` — that is
+    what makes the (partial, next_user) pair a complete checkpoint.
+    ``abort_after_users`` is a deterministic chaos hook that raises
+    :class:`CampaignAborted` once that many users have folded.
     """
     from ..par import resolve_executor
     from ..services.catalog import build_catalog
@@ -538,17 +784,109 @@ def run_campaign(
     dims = parse_cohort_dims(cohorts) if isinstance(cohorts, str) else tuple(cohorts)
     context = CampaignContext(spec, specs, seed, dims=dims, agg=agg)
     engine = resolve_executor(executor, workers)
-    ranges = plan_shards(population, shards)
+    mode = _resolve_reduce(reduce, engine)
+    if population < 1:
+        raise CampaignError(f"population must be >= 1: {population}")
+
     merged = CampaignAggregate(context.seed, context.dims, spec.bootstrap_replicates)
-    done_users = 0
-    for index, partial in enumerate(
-        engine.map_sessions(ranges, specs, context.config())
-    ):
-        merged.merge(partial)
-        done_users += ranges[index][1] - ranges[index][0]
-        if log is not None:
-            log(
-                f"shard {index + 1}/{len(ranges)}: "
-                f"{done_users}/{population} users simulated"
+    start_user = 0
+    checkpointer = None
+    if checkpoint_dir is not None:
+        checkpointer = CampaignCheckpoint(
+            checkpoint_dir,
+            checkpoint_key(population, specs, context.config()),
+            every=checkpoint_every,
+        )
+        if resume:
+            loaded = checkpointer.load()
+            if loaded is not None:
+                start_user, merged = loaded
+    elif resume:
+        raise CampaignError("resume requires a checkpoint directory")
+
+    if start_user >= population:
+        return merged
+
+    progress = _ProgressLog(population, log, start=start_user)
+    abort_at = None if abort_after_users is None else start_user + abort_after_users
+
+    def folded(done_users: int) -> None:
+        if checkpointer is not None:
+            checkpointer.maybe_save(merged, done_users)
+        if abort_at is not None and done_users >= abort_at:
+            raise CampaignAborted(
+                f"campaign aborted after {done_users - start_user} user(s) "
+                f"(abort_after_users={abort_after_users})"
             )
+
+    if mode == "master":
+        ranges = _offset_ranges(plan_shards(population - start_user, shards), start_user)
+        for index, partial in enumerate(
+            engine.map_sessions(ranges, specs, context.config())
+        ):
+            merged.merge(partial)
+            done_users = ranges[index][1]
+            progress.update(f"shard {index + 1}/{len(ranges)}", done_users)
+            folded(done_users)
+    else:
+        with engine.session_pool(specs, context.config()) as pool:
+            if shards is not None:
+                planner = _FixedPlan(
+                    _offset_ranges(plan_shards(population - start_user, shards), start_user)
+                )
+            else:
+                planner = AdaptiveSharder(population, pool.workers, start=start_user)
+            window = max(2, pool.workers * 2)
+            pending: deque = deque()
+
+            def fill() -> None:
+                while len(pending) < window:
+                    shard_range = planner.next_range()
+                    if shard_range is None:
+                        break
+                    pending.append((shard_range, pool.submit(shard_range)))
+
+            chunk_index = 0
+            fill()
+            while pending:
+                shard_range, future = pending.popleft()
+                elapsed, partial = future.result()
+                planner.observe(shard_range[1] - shard_range[0], elapsed)
+                merged.merge(partial)
+                chunk_index += 1
+                progress.update(f"chunk {chunk_index}", shard_range[1])
+                folded(shard_range[1])
+                fill()
+
+    if checkpointer is not None:
+        checkpointer.save(merged, population)
     return merged
+
+
+def reduce_campaign_blobs(
+    blobs: Iterable, executor=None, workers: int = 1, window: Optional[int] = None
+) -> CampaignAggregate:
+    """Tree-reduce KIND_CAGG blobs into one :class:`CampaignAggregate`.
+
+    The reference path (serial backend or ``workers <= 1``) decodes
+    every blob and left-folds — exactly the coordinator's master
+    reduce.  A parallel backend folds contiguous windows of blobs on
+    the workers (:meth:`~repro.par.Executor.map_merge`), repeating in
+    rounds until one merged blob remains, so the coordinator decodes
+    O(1) payloads instead of O(blobs).  Associativity of the merge
+    algebra makes the tree byte-identical to the serial fold.
+    """
+    from ..net import codec
+    from ..par import resolve_executor
+
+    blobs = list(blobs)
+    if not blobs:
+        raise CampaignError("no campaign partials to merge")
+    engine = resolve_executor(executor, workers)
+    if engine.name == "serial" or engine.workers <= 1 or len(blobs) == 1:
+        return merge_campaigns(codec.decode_campaign(blob) for blob in blobs)
+    size = window if window else max(2, math.ceil(len(blobs) / engine.workers))
+    while len(blobs) > 1:
+        windows = [blobs[i : i + size] for i in range(0, len(blobs), size)]
+        blobs = engine.map_merge(windows)
+    return codec.decode_campaign(blobs[0])

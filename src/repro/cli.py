@@ -334,6 +334,7 @@ def cmd_serve(args) -> int:
             max_queued=args.ingest_queue,
             tenant_rate=args.ingest_rate,
             max_upload_bytes=args.max_upload_bytes,
+            ttl_seconds=args.ingest_ttl,
         )
         # Leave headroom over the app-level upload cap so oversize
         # uploads get the app's 413 payload instead of a dropped socket.
@@ -668,11 +669,13 @@ def cmd_campaign(args) -> int:
     import dataclasses
     import time
 
-    from .campaign import PopulationSpec, render_campaign, run_campaign
+    from .campaign import CampaignAborted, PopulationSpec, render_campaign, run_campaign
     from .par import resolve_executor
 
     if args.population < 1:
         raise SystemExit(f"--population must be >= 1: {args.population}")
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
     if args.population_spec:
         spec = PopulationSpec.load(args.population_spec)
     else:
@@ -688,17 +691,26 @@ def cmd_campaign(args) -> int:
     engine = resolve_executor(args.executor, _resolve_workers(args.workers))
     log = (lambda message: print(message, file=sys.stderr)) if args.progress else None
     started = time.perf_counter()
-    campaign = run_campaign(
-        args.population,
-        seed=args.seed,
-        population_spec=spec,
-        services=_selected_services(args),
-        cohorts=args.cohorts,
-        shards=args.shards,
-        executor=engine,
-        agg=args.agg,
-        log=log,
-    )
+    try:
+        campaign = run_campaign(
+            args.population,
+            seed=args.seed,
+            population_spec=spec,
+            services=_selected_services(args),
+            cohorts=args.cohorts,
+            shards=args.shards,
+            executor=engine,
+            agg=args.agg,
+            log=log,
+            reduce=args.reduce,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+            abort_after_users=args.abort_after_users,
+        )
+    except CampaignAborted as exc:
+        print(f"{exc}", file=sys.stderr)
+        return 3
     elapsed = time.perf_counter() - started
     print(render_campaign(campaign, confidence=args.confidence, tables=args.tables))
     if args.progress:
@@ -856,6 +868,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="per-tenant upload rate limit in jobs/second (0 = unlimited)",
+    )
+    serve_parser.add_argument(
+        "--ingest-ttl",
+        type=float,
+        default=0.0,
+        help="prune finished ingest jobs older than this many seconds "
+        "(0 = keep forever); swept jobs answer 404",
     )
     serve_parser.set_defaults(func=cmd_serve)
 
@@ -1096,6 +1115,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="simulation workers; 0 = one per CPU core (results are "
         "identical for any value)",
+    )
+    campaign_parser.add_argument(
+        "--reduce",
+        choices=["auto", "master", "worker"],
+        default="auto",
+        help="reduction topology: master = serial coordinator fold "
+        "(the reference), worker = pool workers fold locally and ship "
+        "merged partials; results are byte-identical either way "
+        "(default: worker on parallel backends)",
+    )
+    campaign_parser.add_argument(
+        "--checkpoint-dir",
+        help="write crash-safe periodic checkpoints (merged partial + "
+        "next-user index) into this directory",
+    )
+    campaign_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the checkpoint directory's last saved state "
+        "(requires --checkpoint-dir; a finished run returns immediately)",
+    )
+    campaign_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        help="users between checkpoint writes (default: 1024)",
+    )
+    campaign_parser.add_argument(
+        "--abort-after-users",
+        type=int,
+        help="chaos hook: abort (exit 3) once this many users have "
+        "folded — simulates a mid-campaign kill for resume testing",
     )
     _add_executor(campaign_parser)
     _add_agg(campaign_parser)

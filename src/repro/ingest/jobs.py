@@ -226,6 +226,41 @@ class JobStore:
         except OSError:
             return None
 
+    # -- garbage collection ------------------------------------------------
+
+    def sweep(self, ttl: float, now: Optional[float] = None) -> List[str]:
+        """Prune finished jobs older than ``ttl`` seconds; returns the
+        swept job ids.
+
+        Age is the ``job.json`` mtime — the file is atomically replaced
+        on every transition, so it marks when the job last changed
+        state.  Only terminal jobs (``done``/``failed``) are eligible:
+        queued and running jobs are never swept, whatever their age.
+        The whole job directory (upload blob, per-record results, final
+        result bytes) is removed; the journal is untouched — recovery
+        already tolerates journal entries whose directory is gone.
+        """
+        import shutil
+        import time
+
+        if ttl <= 0:
+            return []
+        cutoff = (time.time() if now is None else now) - ttl
+        swept: List[str] = []
+        for job in self._scan_jobs():
+            if job.state not in ("done", "failed"):
+                continue
+            directory = self.job_dir(job.job_id)
+            try:
+                mtime = (directory / "job.json").stat().st_mtime
+            except OSError:
+                continue
+            if mtime > cutoff:
+                continue
+            shutil.rmtree(directory, ignore_errors=True)
+            swept.append(job.job_id)
+        return swept
+
     # -- recovery ----------------------------------------------------------
 
     def _scan_jobs(self) -> List[Job]:

@@ -175,6 +175,7 @@ class IngestService:
         max_upload_bytes: int = DEFAULT_MAX_UPLOAD_BYTES,
         max_records: int = DEFAULT_MAX_RECORDS,
         pace: float = 2.0,
+        ttl_seconds: float = 0.0,
         clock=time.monotonic,
     ) -> None:
         self.store = JobStore(root)
@@ -189,6 +190,11 @@ class IngestService:
         #: the :meth:`start` worker loop paces; :meth:`run_pending`
         #: (tests, CLI one-shots) always runs flat out.
         self.pace = pace
+        #: Job TTL in seconds (0 = keep forever): finished jobs older
+        #: than this are pruned from disk by :meth:`sweep` — run
+        #: opportunistically by the background worker loop between jobs.
+        self.ttl_seconds = ttl_seconds
+        self._last_sweep = 0.0
         self._clock = clock
         self.limiter = None
         if tenant_rate > 0:
@@ -319,12 +325,31 @@ class IngestService:
             thread.start()
             self._threads.append(thread)
 
+    def sweep(self) -> List[str]:
+        """Prune finished jobs past :attr:`ttl_seconds`; swept job ids.
+
+        A swept job's status and result answer 404 afterwards — the
+        TTL is the retention contract, so expiry is indistinguishable
+        from the job never having existed.  No-op when the TTL is 0.
+        """
+        if self.ttl_seconds <= 0:
+            return []
+        # No lock: only terminal jobs are eligible, and no worker ever
+        # touches a done/failed job's directory again.
+        return self.store.sweep(self.ttl_seconds)
+
     def _worker_loop(self) -> None:
         while True:
             if self._draining.is_set():
                 return
             item = self.queue.take(timeout=0.1)
             if item is None:
+                # Idle moment: at most one GC pass per TTL interval.
+                if self.ttl_seconds > 0:
+                    now = time.monotonic()
+                    if now - self._last_sweep >= self.ttl_seconds:
+                        self._last_sweep = now
+                        self.sweep()
                 continue
             started = time.monotonic()
             try:

@@ -54,6 +54,7 @@ KIND_TRACE = 1
 KIND_RECORD = 2
 KIND_ABATCH = 3  # columnar analysis batch (repro.analysis.columnar)
 KIND_BUNDLE = 4  # upload bundle: u32 record count + records back-to-back
+KIND_CAGG = 5  # campaign aggregate partial (repro.campaign.engine)
 
 HEADER_SIZE = len(MAGIC) + 2  # magic + version byte + kind byte
 
@@ -465,6 +466,337 @@ def record_content_hash(record) -> str:
     return hashlib.sha256(encode_record(record)).hexdigest()
 
 
+# -- campaign aggregates ------------------------------------------------------
+#
+# KIND_CAGG carries a CampaignAggregate partial: the inter-process
+# reduction payload for campaign shards (replacing the to_dict pickle
+# path) and the on-disk checkpoint format for resumable runs.  Layout
+# follows the columnar batch conventions: one interned string table up
+# front, then integer/float columns referencing it by u32 id.  Floats
+# (Moments Shewchuk partials, min/max) are written as raw f64, so a
+# decoded aggregate's state — hence its ``canonical_bytes`` — is
+# bit-identical to the original's.
+
+
+def _put_moments(buf: bytearray, moments) -> None:
+    buf += _I64.pack(moments.count)
+    buf += _U32.pack(len(moments._sum))
+    for value in moments._sum:
+        buf += _F64.pack(value)
+    buf += _U32.pack(len(moments._sumsq))
+    for value in moments._sumsq:
+        buf += _F64.pack(value)
+    for bound in (moments._min, moments._max):
+        if bound is None:
+            buf += b"\x00"
+        else:
+            buf += b"\x01"
+            buf += _F64.pack(bound)
+
+
+def _get_moments(buf: bytes, pos: int):
+    from ..analysis.stats import Moments
+
+    moments = Moments()
+    (moments.count,) = _I64.unpack_from(buf, pos)
+    pos += 8
+    for name in ("_sum", "_sumsq"):
+        (count,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        end = pos + 8 * count
+        if end > len(buf):
+            raise CodecError(
+                f"truncated data: {count} float partial(s) at offset {pos} "
+                f"overrun buffer of {len(buf)}"
+            )
+        setattr(moments, name, list(struct.unpack_from(f"<{count}d", buf, pos)))
+        pos = end
+    bounds = []
+    for _ in range(2):
+        present = buf[pos]
+        pos += 1
+        if present:
+            (value,) = _F64.unpack_from(buf, pos)
+            pos += 8
+            bounds.append(value)
+        else:
+            bounds.append(None)
+    moments._min, moments._max = bounds
+    return moments, pos
+
+
+def _put_i64_column(buf: bytearray, values: list) -> None:
+    buf += _U32.pack(len(values))
+    buf += struct.pack(f"<{len(values)}q", *values)
+
+
+def _get_i64_column(buf: bytes, pos: int):
+    (count,) = _U32.unpack_from(buf, pos)
+    pos += 4
+    end = pos + 8 * count
+    if end > len(buf):
+        raise CodecError(
+            f"truncated data: {count} i64 value(s) at offset {pos} "
+            f"overrun buffer of {len(buf)}"
+        )
+    return list(struct.unpack_from(f"<{count}q", buf, pos)), end
+
+
+def _put_bootstrap(buf: bytearray, sums) -> None:
+    buf += _U32.pack(sums.replicates)
+    buf += _I64.pack(sums.count)
+    buf += _I64.pack(sums.total)
+    buf += struct.pack(f"<{sums.replicates}q", *sums.sums)
+    buf += struct.pack(f"<{sums.replicates}q", *sums.counts)
+
+
+def _get_bootstrap(buf: bytes, pos: int):
+    from ..analysis.stats import BootstrapSums
+
+    (replicates,) = _U32.unpack_from(buf, pos)
+    pos += 4
+    if replicates < 1:
+        raise CodecError(f"bad bootstrap replicate count {replicates} at offset {pos}")
+    sums = BootstrapSums(replicates)
+    (sums.count,) = _I64.unpack_from(buf, pos)
+    pos += 8
+    (sums.total,) = _I64.unpack_from(buf, pos)
+    pos += 8
+    end = pos + 16 * replicates
+    if end > len(buf):
+        raise CodecError(
+            f"truncated data: {replicates} bootstrap replicate(s) at offset {pos} "
+            f"overrun buffer of {len(buf)}"
+        )
+    sums.sums = list(struct.unpack_from(f"<{replicates}q", buf, pos))
+    pos += 8 * replicates
+    sums.counts = list(struct.unpack_from(f"<{replicates}q", buf, pos))
+    pos += 8 * replicates
+    return sums, pos
+
+
+def encode_campaign(agg) -> bytes:
+    """Serialize a :class:`~repro.campaign.engine.CampaignAggregate`.
+
+    Cohorts are written in label-sorted order and every set/group in
+    its sorted form (matching ``to_dict``), so encoding is canonical:
+    equal aggregates encode to equal bytes regardless of fold order.
+    """
+    from ..analysis.columnar import MOMENT_KEYS
+    from ..campaign.engine import USER_METRIC_KEYS
+
+    strings: dict = {}
+
+    def intern(value: str) -> int:
+        index = strings.get(value)
+        if index is None:
+            index = strings[value] = len(strings)
+        return index
+
+    body = bytearray()
+    body += _I64.pack(agg.seed)
+    body += _U32.pack(len(agg.dims))
+    for dim in agg.dims:
+        body += _U32.pack(intern(dim))
+    body += _U32.pack(agg.replicates)
+
+    cohorts = agg.ordered_cohorts()
+    body += _U32.pack(len(cohorts))
+    for cohort in cohorts:
+        body += _U32.pack(intern(cohort.label))
+        body += _U32.pack(cohort.replicates)
+        body += _I64.pack(cohort.users)
+        body += _I64.pack(cohort.users_leaking)
+        body += _I64.pack(cohort.sessions)
+
+        study = cohort.study
+        metas = study.ordered_services()
+        body += _U32.pack(len(metas))
+        for meta in metas:
+            body += _U32.pack(intern(meta.slug))
+            body += _U32.pack(intern(meta.category))
+            body += _U32.pack(intern(meta.domain))
+            body += _I32.pack(meta.rank)
+            body += _U32.pack(meta.order)
+            body += _U32.pack(len(meta.oses))
+            for os_name in meta.oses:
+                body += _U32.pack(intern(os_name))
+
+        cells = study.ordered_cells()
+        body += _U32.pack(len(cells))
+        for cell in cells:
+            body += _U32.pack(intern(cell.service))
+            body += _U32.pack(intern(cell.os_name))
+            body += _U32.pack(intern(cell.medium))
+            body += _U32.pack(cell.order)
+            body += _I64.pack(cell.flows_total)
+            body += _I64.pack(cell.aa_flows)
+            body += _I64.pack(cell.aa_bytes)
+            domains = sorted(cell.aa_domains)
+            body += _U32.pack(len(domains))
+            for domain in domains:
+                body += _U32.pack(intern(domain))
+            groups = sorted(
+                (domain, host, pii.value, count)
+                for (domain, host, pii), count in cell.leak_groups.items()
+            )
+            body += _U32.pack(len(groups))
+            for domain, host, pii_value, count in groups:
+                body += _U32.pack(intern(domain))
+                body += _U32.pack(intern(host))
+                body += _U32.pack(intern(pii_value))
+                body += _I64.pack(count)
+        for key in MOMENT_KEYS:
+            _put_moments(body, study.moments[key])
+
+        for key in USER_METRIC_KEYS:
+            _put_moments(body, cohort.user_moments[key])
+        for key in USER_METRIC_KEYS:
+            _put_bootstrap(body, cohort.bootstrap[key])
+
+    table = list(strings)
+    head = bytearray(_U32.pack(len(table)))
+    for value in table:
+        _put_str(head, value)
+    return bytes(head + body)
+
+
+def _get_campaign(buf: bytes, pos: int):
+    from ..analysis.columnar import (
+        _PII_BY_VALUE,
+        MOMENT_KEYS,
+        CellAggregate,
+        ServiceMeta,
+        StudyAggregate,
+    )
+    from ..campaign.engine import USER_METRIC_KEYS, CampaignAggregate, CohortAggregate
+
+    (table_size,) = _U32.unpack_from(buf, pos)
+    pos += 4
+    table = []
+    for _ in range(table_size):
+        value, pos = _get_str(buf, pos)
+        table.append(value)
+
+    def ref(pos: int):
+        (index,) = _U32.unpack_from(buf, pos)
+        if index >= table_size:
+            raise CodecError(
+                f"string id {index} out of table range {table_size} at offset {pos}"
+            )
+        return table[index], pos + 4
+
+    (seed,) = _I64.unpack_from(buf, pos)
+    pos += 8
+    (dim_count,) = _U32.unpack_from(buf, pos)
+    pos += 4
+    dims = []
+    for _ in range(dim_count):
+        dim, pos = ref(pos)
+        dims.append(dim)
+    (replicates,) = _U32.unpack_from(buf, pos)
+    pos += 4
+    agg = CampaignAggregate(seed, tuple(dims), replicates)
+
+    (cohort_count,) = _U32.unpack_from(buf, pos)
+    pos += 4
+    for _ in range(cohort_count):
+        label, pos = ref(pos)
+        (cohort_replicates,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        cohort = CohortAggregate(label, cohort_replicates)
+        (cohort.users,) = _I64.unpack_from(buf, pos)
+        pos += 8
+        (cohort.users_leaking,) = _I64.unpack_from(buf, pos)
+        pos += 8
+        (cohort.sessions,) = _I64.unpack_from(buf, pos)
+        pos += 8
+
+        study = StudyAggregate()
+        (meta_count,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        for _ in range(meta_count):
+            slug, pos = ref(pos)
+            category, pos = ref(pos)
+            domain, pos = ref(pos)
+            (rank,) = _I32.unpack_from(buf, pos)
+            pos += 4
+            (order,) = _U32.unpack_from(buf, pos)
+            pos += 4
+            (os_count,) = _U32.unpack_from(buf, pos)
+            pos += 4
+            oses = []
+            for _ in range(os_count):
+                os_name, pos = ref(pos)
+                oses.append(os_name)
+            study.services[slug] = ServiceMeta(
+                slug, category, domain, rank, tuple(oses), order
+            )
+        (cell_count,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        for _ in range(cell_count):
+            service, pos = ref(pos)
+            os_name, pos = ref(pos)
+            medium, pos = ref(pos)
+            (order,) = _U32.unpack_from(buf, pos)
+            pos += 4
+            cell = CellAggregate(service, os_name, medium, order)
+            (cell.flows_total,) = _I64.unpack_from(buf, pos)
+            pos += 8
+            (cell.aa_flows,) = _I64.unpack_from(buf, pos)
+            pos += 8
+            (cell.aa_bytes,) = _I64.unpack_from(buf, pos)
+            pos += 8
+            (domain_count,) = _U32.unpack_from(buf, pos)
+            pos += 4
+            domains = set()
+            for _ in range(domain_count):
+                domain, pos = ref(pos)
+                domains.add(domain)
+            cell.aa_domains = domains
+            (group_count,) = _U32.unpack_from(buf, pos)
+            pos += 4
+            groups: dict = {}
+            for _ in range(group_count):
+                domain, pos = ref(pos)
+                host, pos = ref(pos)
+                pii_value, pos = ref(pos)
+                (count,) = _I64.unpack_from(buf, pos)
+                pos += 8
+                pii = _PII_BY_VALUE.get(pii_value)
+                if pii is None:
+                    raise CodecError(f"unknown PII type {pii_value!r} in aggregate")
+                groups[(domain, host, pii)] = count
+            cell.leak_groups = groups
+            study.cells[cell.key] = cell
+        moments = {}
+        for key in MOMENT_KEYS:
+            moments[key], pos = _get_moments(buf, pos)
+        study.moments = moments
+        cohort.study = study
+
+        user_moments = {}
+        for key in USER_METRIC_KEYS:
+            user_moments[key], pos = _get_moments(buf, pos)
+        cohort.user_moments = user_moments
+        bootstrap = {}
+        for key in USER_METRIC_KEYS:
+            bootstrap[key], pos = _get_bootstrap(buf, pos)
+        cohort.bootstrap = bootstrap
+        agg.cohorts[label] = cohort
+    return agg, pos
+
+
+def decode_campaign(data: bytes):
+    """Parse a blob produced by :func:`encode_campaign` (strict)."""
+    try:
+        agg, pos = _get_campaign(data, 0)
+    except (struct.error, IndexError) as exc:
+        raise CodecError(f"truncated campaign data: {exc}") from exc
+    _expect_end(data, pos)
+    return agg
+
+
 # -- files --------------------------------------------------------------------
 
 
@@ -531,6 +863,18 @@ def read_record(path: Union[str, Path]):
     path = Path(path)
     data = path.read_bytes()
     return decode_record(_check_header(data, KIND_RECORD, path))
+
+
+def write_campaign(path: Union[str, Path], agg) -> None:
+    """Atomically write a campaign aggregate as a framed binary file."""
+    atomic_write_bytes(path, _header(KIND_CAGG) + encode_campaign(agg))
+
+
+def read_campaign(path: Union[str, Path]):
+    """Read a framed campaign file written by :func:`write_campaign`."""
+    path = Path(path)
+    data = path.read_bytes()
+    return decode_campaign(_check_header(data, KIND_CAGG, path))
 
 
 def write_bundle(path: Union[str, Path], records) -> None:

@@ -25,9 +25,11 @@ string-hash seed.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Optional, Union
 
 from . import tasks
@@ -84,8 +86,91 @@ class Executor:
         """
         raise NotImplementedError
 
+    def session_pool(self, specs: list, config: dict):
+        """Context manager over a persistent campaign worker pool.
+
+        Yields a :class:`SessionPool` handle whose ``submit((start,
+        stop))`` returns a future resolving to ``(elapsed_seconds,
+        CampaignAggregate)`` — the low-level API the adaptive campaign
+        driver uses when the *next* chunk's size depends on how long
+        completed chunks took.  Exiting the context shuts the pool down
+        (cancelling queued work), so an early-exiting driver leaks no
+        threads or processes.
+        """
+        raise NotImplementedError
+
+    def map_merge(self, blob_windows: list) -> list:
+        """Campaign tree reduction: fold each window (an ordered list
+        of KIND_CAGG blobs) into one merged blob.  Context-free — the
+        blobs are self-contained — so the process backend needs no pool
+        initializer and the merge work lands on the workers instead of
+        the coordinator."""
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} workers={self.workers}>"
+
+
+class SessionPool:
+    """Handle yielded by :meth:`Executor.session_pool`.
+
+    ``submit`` returns immediately with a future-like object;
+    ``workers`` is the effective parallelism (1 for the serial backend)
+    the driver sizes its in-flight window from.
+    """
+
+    def __init__(self, workers: int, submit_fn) -> None:
+        self.workers = workers
+        self._submit = submit_fn
+
+    def submit(self, shard_range):
+        """Schedule one ``(start, stop)`` user range; the returned
+        future's ``result()`` is ``(elapsed_seconds, aggregate)``."""
+        return self._submit(shard_range)
+
+
+def _shard_error(item, exc) -> "ExecutorError":
+    start, stop = item
+    return ExecutorError(f"campaign shard [{start}, {stop}) failed: {exc}")
+
+
+class _ShardFuture:
+    """Future wrapper: annotates failures with the shard range and
+    post-processes successful payloads (blob decode for the process
+    backend)."""
+
+    __slots__ = ("_item", "_future", "_decode")
+
+    def __init__(self, item, future, decode=None) -> None:
+        self._item = item
+        self._future = future
+        self._decode = decode
+
+    def result(self):
+        try:
+            payload = self._future.result()
+        except ExecutorError:
+            raise
+        except Exception as exc:
+            raise _shard_error(self._item, exc) from exc
+        return self._decode(payload) if self._decode is not None else payload
+
+
+def _timed_shard(context, shard_range):
+    start, stop = shard_range
+    began = time.perf_counter()
+    partial = context.run_shard(start, stop)
+    return time.perf_counter() - began, partial
+
+
+def _immediate_shard(context, shard_range) -> "_ShardFuture":
+    """Serial ``submit``: run now, park value/error in a done future."""
+    future: Future = Future()
+    try:
+        future.set_result(_timed_shard(context, shard_range))
+    except Exception as exc:  # annotated by _ShardFuture at result()
+        future.set_exception(exc)
+    return _ShardFuture(shard_range, future)
 
 
 def _stream_windowed(pool, fn, items, window: int):
@@ -99,6 +184,22 @@ def _stream_windowed(pool, fn, items, window: int):
     pending = deque()
     for item in items:
         pending.append(pool.submit(fn, item))
+        if len(pending) >= window:
+            yield pending.popleft().result()
+    while pending:
+        yield pending.popleft().result()
+
+
+def _stream_shards(pool, fn, ranges, window: int, decode=None):
+    """Campaign variant of :func:`_stream_windowed`: results come back
+    through :class:`_ShardFuture`, so a worker failure surfaces as
+    :class:`ExecutorError` naming the failing ``[start, stop)`` range
+    instead of a bare traceback from deep inside the fold."""
+    from collections import deque
+
+    pending = deque()
+    for item in ranges:
+        pending.append(_ShardFuture(item, pool.submit(fn, item), decode))
         if len(pending) >= window:
             yield pending.popleft().result()
     while pending:
@@ -146,7 +247,10 @@ class SerialExecutor(Executor):
 
         context = CampaignContext.from_config(list(specs), config)
         for start, stop in shard_ranges:
-            yield context.run_shard(start, stop)
+            try:
+                yield context.run_shard(start, stop)
+            except Exception as exc:
+                raise _shard_error((start, stop), exc) from exc
 
     def imap_analyze(self, records, specs: list, recon):
         from ..core.pipeline import analyze_session
@@ -154,6 +258,16 @@ class SerialExecutor(Executor):
         by_slug = {spec.slug: spec for spec in specs}
         for record in records:
             yield analyze_session(record, by_slug[record.service], recon=recon)
+
+    @contextlib.contextmanager
+    def session_pool(self, specs: list, config: dict):
+        from ..campaign.engine import CampaignContext
+
+        context = CampaignContext.from_config(list(specs), config)
+        yield SessionPool(1, lambda item: _immediate_shard(context, item))
+
+    def map_merge(self, blob_windows: list) -> list:
+        return [tasks.campaign_merge_blobs(window) for window in blob_windows]
 
 
 class ThreadExecutor(Executor):
@@ -202,15 +316,45 @@ class ThreadExecutor(Executor):
         ranges = list(shard_ranges)
         if self.workers <= 1 or len(ranges) <= 1:
             for start, stop in ranges:
-                yield context.run_shard(start, stop)
+                try:
+                    yield context.run_shard(start, stop)
+                except Exception as exc:
+                    raise _shard_error((start, stop), exc) from exc
             return
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            yield from _stream_windowed(
+        pool = ThreadPoolExecutor(max_workers=self.workers)
+        try:
+            yield from _stream_shards(
                 pool,
                 lambda item: context.run_shard(item[0], item[1]),
                 ranges,
                 self.workers * 2,
             )
+        finally:
+            # Runs on early generator close too: cancel queued shards,
+            # wait out in-flight ones, leak no threads.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    @contextlib.contextmanager
+    def session_pool(self, specs: list, config: dict):
+        from ..campaign.engine import CampaignContext
+
+        context = CampaignContext.from_config(list(specs), config)
+        if self.workers <= 1:
+            yield SessionPool(1, lambda item: _immediate_shard(context, item))
+            return
+        pool = ThreadPoolExecutor(max_workers=self.workers)
+        try:
+            yield SessionPool(
+                self.workers,
+                lambda item: _ShardFuture(
+                    item, pool.submit(_timed_shard, context, item)
+                ),
+            )
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def map_merge(self, blob_windows: list) -> list:
+        return self._map(tasks.campaign_merge_blobs, blob_windows)
 
     def imap_analyze(self, records, specs: list, recon):
         from ..core.pipeline import analyze_session
@@ -308,7 +452,7 @@ class ProcessExecutor(Executor):
             ]
 
     def map_sessions(self, shard_ranges, specs: list, config: dict):
-        from ..campaign.engine import CampaignAggregate
+        from ..net import codec
 
         ranges = list(shard_ranges)
         if not ranges:
@@ -319,18 +463,72 @@ class ProcessExecutor(Executor):
             # byte-identical either way, this is purely less overhead.
             tasks.init_campaign(list(specs), config)
             for item in ranges:
-                yield CampaignAggregate.from_dict(tasks.campaign_shard(item))
+                try:
+                    yield codec.decode_campaign(tasks.campaign_shard(item))
+                except Exception as exc:
+                    raise _shard_error(item, exc) from exc
             return
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=workers,
             mp_context=_mp_context(),
             initializer=tasks.init_campaign,
             initargs=(list(specs), config),
+        )
+        try:
+            yield from _stream_shards(
+                pool,
+                tasks.campaign_shard,
+                ranges,
+                workers * 2,
+                decode=codec.decode_campaign,
+            )
+        finally:
+            # Runs on early generator close too: cancel queued shards,
+            # wait out in-flight ones, leave no orphaned processes.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    @contextlib.contextmanager
+    def session_pool(self, specs: list, config: dict):
+        from ..campaign.engine import CampaignContext
+        from ..net import codec
+
+        if self.workers <= 1:
+            context = CampaignContext.from_config(list(specs), config)
+            yield SessionPool(1, lambda item: _immediate_shard(context, item))
+            return
+
+        def decode(payload):
+            elapsed, blob = payload
+            return elapsed, codec.decode_campaign(blob)
+
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=_mp_context(),
+            initializer=tasks.init_campaign,
+            initargs=(list(specs), config),
+        )
+        try:
+            yield SessionPool(
+                self.workers,
+                lambda item: _ShardFuture(
+                    item, pool.submit(tasks.campaign_chunk, item), decode
+                ),
+            )
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def map_merge(self, blob_windows: list) -> list:
+        if not blob_windows:
+            return []
+        workers = min(self.workers, len(blob_windows))
+        if workers <= 1:
+            # Same degenerate-pool shortcut as _run: skip IPC entirely.
+            return [tasks.campaign_merge_blobs(window) for window in blob_windows]
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_mp_context(),
         ) as pool:
-            for payload in _stream_windowed(
-                pool, tasks.campaign_shard, ranges, workers * 2
-            ):
-                yield CampaignAggregate.from_dict(payload)
+            return list(pool.map(tasks.campaign_merge_blobs, blob_windows))
 
     def imap_analyze(self, records, specs: list, recon):
         from ..core.pipeline import SessionAnalysis

@@ -41,13 +41,44 @@ def init_campaign(specs: list, config: dict) -> None:
     _CONTEXT["campaign"] = CampaignContext.from_config(specs, config)
 
 
-def campaign_shard(payload) -> dict:
+def campaign_shard(payload) -> bytes:
     """Simulate one shard of users; returns the exact
-    (partials-preserving) ``CampaignAggregate.to_dict()`` form, so the
-    parent's merge of shipped partials stays bit-identical to an
-    in-process reduction."""
+    (partials-preserving) KIND_CAGG blob from
+    :func:`repro.net.codec.encode_campaign`, so the parent's merge of
+    shipped partials stays bit-identical to an in-process reduction —
+    one ``bytes`` object is far cheaper to pickle than the dict form."""
+    from ..net import codec
+
     start, stop = payload
-    return _CONTEXT["campaign"].run_shard(start, stop).to_dict()
+    return codec.encode_campaign(_CONTEXT["campaign"].run_shard(start, stop))
+
+
+def campaign_chunk(payload) -> tuple:
+    """Timed variant for the adaptive planner: simulate one contiguous
+    user range and return ``(elapsed_seconds, blob)``.  The wall time is
+    measured inside the worker, so the parent's feedback loop sees pure
+    simulation cost, not queueing delay."""
+    import time
+
+    from ..net import codec
+
+    start, stop = payload
+    began = time.perf_counter()
+    partial = _CONTEXT["campaign"].run_shard(start, stop)
+    return time.perf_counter() - began, codec.encode_campaign(partial)
+
+
+def campaign_merge_blobs(blobs: list) -> bytes:
+    """Worker-side tree reduction: fold a window of KIND_CAGG blobs (in
+    the given order) into one merged blob.  Context-free — the blobs
+    are self-contained — and exact, so a tree of these merges is
+    bit-identical to the master's serial left fold."""
+    from ..campaign.engine import merge_campaigns
+    from ..net import codec
+
+    return codec.encode_campaign(
+        merge_campaigns(codec.decode_campaign(blob) for blob in blobs)
+    )
 
 
 def analyze_blob(blob: bytes) -> dict:

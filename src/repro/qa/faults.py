@@ -65,6 +65,7 @@ class FaultPlan:
     addon_every: int = 3
     serve_check: bool = True
     ingest_check: bool = True
+    campaign_check: bool = True
 
     @classmethod
     def from_rng(cls, rng) -> "FaultPlan":
@@ -83,6 +84,7 @@ class FaultPlan:
             addon_every=rng.randint(2, 5),
             serve_check=rng.random() < 0.8,
             ingest_check=rng.random() < 0.8,
+            campaign_check=rng.random() < 0.8,
         )
 
     def to_dict(self) -> dict:
@@ -102,6 +104,7 @@ class FaultPlan:
             addon_every=int(data.get("addon_every", 3)),
             serve_check=bool(data.get("serve_check", True)),
             ingest_check=bool(data.get("ingest_check", True)),
+            campaign_check=bool(data.get("campaign_check", True)),
         )
 
 
@@ -474,6 +477,59 @@ def check_ingest_faults(scenario, specs, dataset, plan, mutate):
     return out
 
 
+def check_campaign_resume(scenario, specs, mutate):
+    """Kill a checkpointed campaign mid-run, resume, compare bytes.
+
+    A small population is driven with the ``abort_after_users`` chaos
+    hook (the deterministic stand-in for kill -9) under a tight
+    checkpoint interval; the resumed run re-plans only the remaining
+    user range, so its shard boundaries differ from the uninterrupted
+    reference — which is exactly what the merge algebra must absorb.
+    """
+    from ..campaign import CampaignAborted, PopulationSpec, run_campaign
+
+    population = 6
+    pop_spec = PopulationSpec(
+        services_per_user=(1, 2),
+        sessions_per_service=(1, 1),
+        session_duration=scenario.duration,
+        bootstrap_replicates=10,
+    )
+    kwargs = dict(
+        seed=scenario.study_seed,
+        population_spec=pop_spec,
+        services=specs,
+        executor="serial",
+        agg="columnar",
+    )
+    expected = run_campaign(population, shards=3, **kwargs).canonical_bytes()
+    out = []
+    with tempfile.TemporaryDirectory(prefix="repro-qa-campaign-") as ckpt:
+        try:
+            run_campaign(
+                population,
+                shards=3,
+                checkpoint_dir=ckpt,
+                checkpoint_every=2,
+                abort_after_users=3,
+                **kwargs,
+            )
+            out.append(
+                _divergence(
+                    "campaign[kill]", "abort", "CampaignAborted", "completed"
+                )
+            )
+        except CampaignAborted:
+            pass
+        resumed = run_campaign(
+            population, checkpoint_dir=ckpt, resume=True, **kwargs
+        )
+        actual = mutate("campaign", resumed).canonical_bytes()
+        if actual != expected:
+            out.append(_divergence("campaign[kill+resume]", "aggregate", expected, actual))
+    return out
+
+
 def run_fault_checks(scenario, specs, dataset, expected, mutators=None):
     """Run every check the scenario's fault plan enables."""
     mutators = dict(mutators or {})
@@ -515,5 +571,9 @@ def run_fault_checks(scenario, specs, dataset, expected, mutators=None):
     if plan.ingest_check:
         divergences.extend(check_ingest_faults(scenario, specs, dataset, plan, mutate))
         stats["fault_checks"] += 3
+
+    if plan.campaign_check:
+        divergences.extend(check_campaign_resume(scenario, specs, mutate))
+        stats["fault_checks"] += 1
 
     return divergences, stats

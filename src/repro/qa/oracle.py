@@ -353,6 +353,48 @@ def run_oracle(scenario: Scenario, mutators=None, executors=("process",)) -> Ora
         campaign_process.canonical_bytes(),
     )
 
+    # Scale-out data plane pins: the KIND_CAGG codec must round-trip to
+    # identical canonical bytes, worker-side reduction (pool workers
+    # folding locally, adaptive chunk geometry) must match the serial
+    # master fold, and the blob tree reduction must match a serial
+    # left fold of the same shard blobs.
+    from ..net import codec as _codec
+
+    check_campaign_bytes(
+        "campaign[codec roundtrip]",
+        campaign_expected,
+        mutate(
+            "campaign", _codec.decode_campaign(_codec.encode_campaign(campaign_reference))
+        ).canonical_bytes(),
+    )
+    campaign_worker = run_campaign(
+        population,
+        seed=scenario.study_seed,
+        population_spec=pop_spec,
+        services=specs,
+        executor="thread",
+        workers=2,
+        reduce="worker",
+        agg="columnar",
+    )
+    check_campaign_bytes(
+        "campaign[worker-reduce,adaptive]",
+        campaign_expected,
+        campaign_worker.canonical_bytes(),
+    )
+    from ..campaign import reduce_campaign_blobs
+
+    shard_blobs = [
+        _codec.encode_campaign(partial) for partial in campaign_partials
+    ]
+    check_campaign_bytes(
+        "campaign[tree-reduce blobs]",
+        campaign_expected,
+        reduce_campaign_blobs(
+            shard_blobs, executor="thread", workers=2, window=2
+        ).canonical_bytes(),
+    )
+
     # -- mitigation data plane ----------------------------------------------
     # Four pins per seed: (a) an installed-but-inert (all-allow) policy
     # leaves the study byte-identical to the reference; (b) the

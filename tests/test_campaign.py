@@ -505,3 +505,313 @@ class TestReportAndCli:
 
         with pytest.raises(SystemExit):
             main(["campaign", "--population", "0"])
+
+
+class TestCampaignCodec:
+    """KIND_CAGG frames: exact round trips, strict failure on damage."""
+
+    def test_round_trip_is_exact(self, reference):
+        from repro.net import codec
+
+        blob = codec.encode_campaign(reference)
+        decoded = codec.decode_campaign(blob)
+        assert decoded.to_dict() == reference.to_dict()
+        assert decoded.canonical_bytes() == reference.canonical_bytes()
+
+    def test_reencode_is_byte_identical(self, reference):
+        from repro.net import codec
+
+        blob = codec.encode_campaign(reference)
+        assert codec.encode_campaign(codec.decode_campaign(blob)) == blob
+
+    def test_truncation_raises_codec_error(self, reference):
+        from repro.net import codec
+        from repro.net.codec import CodecError
+
+        blob = codec.encode_campaign(reference)
+        for cut in (0, 1, 4, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(CodecError):
+                codec.decode_campaign(blob[:cut])
+
+    def test_trailing_garbage_raises_codec_error(self, reference):
+        from repro.net import codec
+        from repro.net.codec import CodecError
+
+        blob = codec.encode_campaign(reference)
+        with pytest.raises(CodecError):
+            codec.decode_campaign(blob + b"\x00")
+
+    def test_file_round_trip(self, reference, tmp_path):
+        from repro.net import codec
+
+        path = tmp_path / "partial.cagg"
+        codec.write_campaign(path, reference)
+        assert (
+            codec.read_campaign(path).canonical_bytes()
+            == reference.canonical_bytes()
+        )
+
+    def test_corrupt_frame_rejected(self, reference, tmp_path):
+        from repro.net import codec
+        from repro.net.codec import CodecError
+
+        path = tmp_path / "partial.cagg"
+        codec.write_campaign(path, reference)
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF  # break the magic
+        path.write_bytes(bytes(data))
+        with pytest.raises(CodecError):
+            codec.read_campaign(path)
+
+
+class TestWorkerReduce:
+    """Worker-side reduction must be byte-identical to the master path."""
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_fixed_geometry_matches_reference(
+        self, services, reference, executor
+    ):
+        from repro.campaign import run_campaign
+
+        campaign = run_campaign(
+            10,
+            seed=7,
+            population_spec=small_spec(),
+            services=services,
+            executor=executor,
+            workers=2,
+            shards=4,
+            reduce="worker",
+            agg="columnar",
+        )
+        assert campaign.canonical_bytes() == reference.canonical_bytes()
+
+    def test_adaptive_geometry_matches_reference(self, services, reference):
+        from repro.campaign import run_campaign
+
+        campaign = run_campaign(
+            10,
+            seed=7,
+            population_spec=small_spec(),
+            services=services,
+            executor="thread",
+            workers=2,
+            reduce="worker",  # no shards= -> AdaptiveSharder plans chunks
+            agg="columnar",
+        )
+        assert campaign.canonical_bytes() == reference.canonical_bytes()
+
+    def test_unknown_reduce_mode_rejected(self, services):
+        from repro.campaign import REDUCE_MODES, run_campaign
+
+        assert REDUCE_MODES == ("auto", "master", "worker")
+        with pytest.raises(CampaignError):
+            run_campaign(
+                4,
+                population_spec=small_spec(),
+                services=services,
+                reduce="gossip",
+            )
+
+
+class TestAdaptiveSharder:
+    def test_ranges_partition_population_exactly(self):
+        from repro.campaign import AdaptiveSharder
+
+        sharder = AdaptiveSharder(10_000, workers=4)
+        ranges = []
+        while True:
+            shard_range = sharder.next_range()
+            if shard_range is None:
+                break
+            ranges.append(shard_range)
+            sharder.observe(shard_range[1] - shard_range[0], 0.1)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 10_000
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+
+    def test_feedback_resizes_within_clamps(self):
+        from repro.campaign import AdaptiveSharder
+
+        fast = AdaptiveSharder(10**9, workers=2, min_users=32, max_users=8192)
+        fast.next_range()
+        fast.observe(8192, 0.001)  # absurdly fast worker
+        start, stop = fast.next_range()
+        assert stop - start == 8192  # clamped at max_users
+
+        slow = AdaptiveSharder(10**9, workers=2, min_users=32, max_users=8192)
+        slow.next_range()
+        slow.observe(1, 100.0)  # glacial worker
+        start, stop = slow.next_range()
+        assert stop - start == 32  # clamped at min_users
+
+    def test_tail_splits_across_workers(self):
+        from repro.campaign import AdaptiveSharder
+
+        sharder = AdaptiveSharder(100, workers=4, initial=4096)
+        start, stop = sharder.next_range()
+        # the tail rule caps the chunk at ceil(100 / (4 * 2)) = 13,
+        # clamped up to min_users=32... min(initial, tail=max(32,13), 100)
+        assert stop - start == 32
+
+    def test_start_offset_respected(self):
+        from repro.campaign import AdaptiveSharder
+
+        sharder = AdaptiveSharder(100, workers=1, start=60)
+        start, _ = sharder.next_range()
+        assert start == 60
+
+
+class TestCheckpointResume:
+    """Kill + resume must be byte-identical to the uninterrupted run."""
+
+    def _kwargs(self, services):
+        return dict(
+            seed=7,
+            population_spec=small_spec(),
+            services=services,
+            executor="serial",
+            agg="columnar",
+        )
+
+    def test_abort_then_resume_is_byte_identical(
+        self, services, reference, tmp_path
+    ):
+        from repro.campaign import CampaignAborted, run_campaign
+
+        kwargs = self._kwargs(services)
+        with pytest.raises(CampaignAborted):
+            run_campaign(
+                10,
+                shards=5,
+                checkpoint_dir=tmp_path,
+                checkpoint_every=2,
+                abort_after_users=4,
+                **kwargs,
+            )
+        # resume under a *different* chunk geometry: boundaries move,
+        # bytes must not.
+        resumed = run_campaign(
+            10,
+            shards=2,
+            checkpoint_dir=tmp_path,
+            resume=True,
+            **kwargs,
+        )
+        assert resumed.canonical_bytes() == reference.canonical_bytes()
+
+    def test_resume_of_finished_run_returns_immediately(
+        self, services, reference, tmp_path
+    ):
+        from repro.campaign import run_campaign
+
+        kwargs = self._kwargs(services)
+        first = run_campaign(10, shards=2, checkpoint_dir=tmp_path, **kwargs)
+        again = run_campaign(
+            10, shards=2, checkpoint_dir=tmp_path, resume=True, **kwargs
+        )
+        assert first.canonical_bytes() == reference.canonical_bytes()
+        assert again.canonical_bytes() == reference.canonical_bytes()
+
+    def test_resume_with_different_config_rejected(self, services, tmp_path):
+        from repro.campaign import CampaignAborted, run_campaign
+
+        kwargs = self._kwargs(services)
+        with pytest.raises(CampaignAborted):
+            run_campaign(
+                10,
+                shards=5,
+                checkpoint_dir=tmp_path,
+                checkpoint_every=2,
+                abort_after_users=4,
+                **kwargs,
+            )
+        kwargs["seed"] = 8  # changes the checkpoint key
+        with pytest.raises(CampaignError):
+            run_campaign(
+                10, shards=5, checkpoint_dir=tmp_path, resume=True, **kwargs
+            )
+
+    def test_resume_requires_checkpoint_dir(self, services):
+        from repro.campaign import run_campaign
+
+        with pytest.raises(CampaignError):
+            run_campaign(
+                4,
+                population_spec=small_spec(),
+                services=services,
+                resume=True,
+            )
+
+    def test_worker_reduce_abort_resume_is_byte_identical(
+        self, services, reference, tmp_path
+    ):
+        from repro.campaign import CampaignAborted, run_campaign
+
+        kwargs = self._kwargs(services)
+        kwargs.update(executor="thread", workers=2, reduce="worker")
+        with pytest.raises(CampaignAborted):
+            run_campaign(
+                10,
+                shards=5,
+                checkpoint_dir=tmp_path,
+                checkpoint_every=2,
+                abort_after_users=4,
+                **kwargs,
+            )
+        resumed = run_campaign(
+            10, checkpoint_dir=tmp_path, resume=True, **kwargs
+        )
+        assert resumed.canonical_bytes() == reference.canonical_bytes()
+
+
+class TestTreeReduce:
+    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    def test_blob_reduction_matches_reference(
+        self, services, reference, executor
+    ):
+        from repro.campaign import reduce_campaign_blobs
+        from repro.net import codec
+
+        context = CampaignContext(small_spec(), services, 7, agg="columnar")
+        blobs = [
+            codec.encode_campaign(context.run_shard(start, stop))
+            for start, stop in plan_shards(10, 5)
+        ]
+        merged = reduce_campaign_blobs(
+            blobs, executor=executor, workers=2, window=2
+        )
+        assert merged.canonical_bytes() == reference.canonical_bytes()
+
+    def test_no_blobs_rejected(self):
+        from repro.campaign import reduce_campaign_blobs
+
+        with pytest.raises(CampaignError):
+            reduce_campaign_blobs([])
+
+
+class TestProgressLog:
+    def test_log_lines_keep_stable_format(self, services):
+        import re
+
+        from repro.campaign import run_campaign
+
+        lines = []
+        run_campaign(
+            6,
+            seed=7,
+            population_spec=small_spec(),
+            services=services,
+            executor="serial",
+            shards=3,
+            log=lines.append,
+        )
+        assert len(lines) == 3
+        pattern = re.compile(
+            r"^shard \d+/3: \d+/6 users simulated"
+            r"( \| \d+\.\d users/s, ETA \d+s)?$"
+        )
+        for line in lines:
+            assert pattern.match(line), line
+        assert lines[-1].startswith("shard 3/3: 6/6 users simulated")

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
 import threading
 import time
 
@@ -659,3 +660,81 @@ class TestBackpressure:
                 response.read()
             finally:
                 conn.close()
+
+
+# ---------------------------------------------------------------------------
+# retention: TTL sweep of finished jobs
+
+
+class TestSweep:
+    def _age(self, service, job_id, seconds):
+        """Backdate a job's last transition (job.json mtime is the age)."""
+        path = service.store.job_dir(job_id) / "job.json"
+        stamp = time.time() - seconds
+        os.utime(path, (stamp, stamp))
+
+    def test_expired_done_job_answers_404(self, tmp_path, upload_body):
+        service = IngestService(tmp_path, executor="serial", ttl_seconds=60.0)
+        job = service.submit(upload_body, tenant="t")
+        service.run_pending()
+        assert service.job_status(job.job_id)["state"] == "done"
+
+        self._age(service, job.job_id, 120.0)
+        assert service.sweep() == [job.job_id]
+        assert service.job_status(job.job_id) is None
+        assert service.store.result_bytes(job.job_id) is None
+        assert not service.store.job_dir(job.job_id).exists()
+
+    def test_young_job_untouched(self, tmp_path, upload_body):
+        service = IngestService(tmp_path, executor="serial", ttl_seconds=3600.0)
+        job = service.submit(upload_body, tenant="t")
+        service.run_pending()
+        expected = service.store.result_bytes(job.job_id)
+
+        assert service.sweep() == []
+        assert service.job_status(job.job_id)["state"] == "done"
+        assert service.store.result_bytes(job.job_id) == expected
+
+    def test_queued_job_never_swept(self, tmp_path, upload_body):
+        service = IngestService(tmp_path, executor="serial", ttl_seconds=1.0)
+        job = service.submit(upload_body, tenant="t")  # accepted, not run
+        self._age(service, job.job_id, 9999.0)
+        assert service.sweep() == []
+        assert service.job_status(job.job_id)["state"] == "queued"
+
+    def test_zero_ttl_disables_sweeping(self, tmp_path, upload_body):
+        service = IngestService(tmp_path, executor="serial")
+        job = service.submit(upload_body, tenant="t")
+        service.run_pending()
+        self._age(service, job.job_id, 9999.0)
+        assert service.sweep() == []
+        assert service.store.sweep(0.0) == []
+        assert service.job_status(job.job_id)["state"] == "done"
+
+    def test_failed_jobs_are_eligible(self, tmp_path, upload_body, monkeypatch):
+        service = IngestService(tmp_path, executor="serial", ttl_seconds=60.0)
+        job = service.submit(upload_body, tenant="t")
+        monkeypatch.setattr(
+            service.engine,
+            "imap_analyze",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        service.run_pending()
+        assert service.job_status(job.job_id)["state"] == "failed"
+        self._age(service, job.job_id, 120.0)
+        assert service.sweep() == [job.job_id]
+        assert service.job_status(job.job_id) is None
+
+    def test_restart_after_sweep_recovers_cleanly(self, tmp_path, upload_body):
+        """The journal still names the swept job; recovery must shrug."""
+        service = IngestService(tmp_path, executor="serial", ttl_seconds=60.0)
+        job = service.submit(upload_body, tenant="t")
+        service.run_pending()
+        self._age(service, job.job_id, 120.0)
+        service.sweep()
+
+        reborn = IngestService(tmp_path, executor="serial")
+        assert reborn.job_status(job.job_id) is None
+        fresh = reborn.submit(upload_body, tenant="t")
+        assert reborn.run_pending() == 1
+        assert reborn.job_status(fresh.job_id)["state"] == "done"

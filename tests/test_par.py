@@ -117,3 +117,93 @@ class TestBackendEquivalence:
             executor=ThreadExecutor(workers=3),
         )
         assert canonical_bytes(study) == reference_bytes
+
+
+@pytest.fixture(scope="module")
+def campaign_world():
+    """Tiny campaign geometry for exercising map_sessions lifecycles."""
+    from repro.campaign import CampaignContext, PopulationSpec
+    from repro.services.catalog import build_catalog
+
+    specs = [spec for spec in build_catalog() if spec.slug == "weather"]
+    spec = PopulationSpec(
+        services_per_user=(1, 1),
+        sessions_per_service=(1, 1),
+        session_duration=5.0,
+        bootstrap_replicates=5,
+    )
+    context = CampaignContext(spec, specs, 7)
+    return specs, context.config()
+
+
+class TestMapSessionsLifecycle:
+    """Generator early-close and mid-stream worker failure.
+
+    ``map_sessions`` streams partials while a pool is live; closing the
+    generator early or hitting a worker exception must still tear the
+    pool down (no leaked threads, no orphaned processes) and failures
+    must name the shard range that died.
+    """
+
+    @pytest.mark.parametrize("name", ["thread", "process"])
+    def test_early_close_tears_down_pool(self, campaign_world, name):
+        import multiprocessing
+        import threading
+
+        specs, config = campaign_world
+        threads_before = set(threading.enumerate())
+        children_before = set(multiprocessing.active_children())
+
+        engine = resolve_executor(name, workers=2)
+        ranges = [(i, i + 1) for i in range(6)]
+        stream = engine.map_sessions(ranges, specs, config)
+        first = next(stream)
+        assert first.users == 1
+        stream.close()
+
+        leaked_threads = [
+            t for t in threading.enumerate()
+            if t not in threads_before and t.is_alive()
+        ]
+        assert leaked_threads == []
+        leaked_children = [
+            p for p in multiprocessing.active_children()
+            if p not in children_before
+        ]
+        assert leaked_children == []
+
+    @pytest.mark.parametrize("name", EXECUTOR_NAMES)
+    def test_worker_exception_names_failing_shard(self, campaign_world, name):
+        specs, config = campaign_world
+        # "zodiac" survives context construction but is rejected when the
+        # shard folds its first persona, so the error surfaces mid-stream
+        # from inside a live worker, not at submission time.
+        bad = dict(config, dims=["zodiac"])
+        engine = resolve_executor(name, workers=2)
+        with pytest.raises(ExecutorError, match=r"campaign shard \[0, 2\)"):
+            list(engine.map_sessions([(0, 2), (2, 4)], specs, bad))
+
+    @pytest.mark.parametrize("name", EXECUTOR_NAMES)
+    def test_worker_exception_leaves_no_orphans(self, campaign_world, name):
+        import multiprocessing
+        import threading
+
+        specs, config = campaign_world
+        bad = dict(config, dims=["zodiac"])
+        threads_before = set(threading.enumerate())
+        children_before = set(multiprocessing.active_children())
+
+        engine = resolve_executor(name, workers=2)
+        with pytest.raises(ExecutorError):
+            list(engine.map_sessions([(0, 2), (2, 4)], specs, bad))
+
+        leaked_threads = [
+            t for t in threading.enumerate()
+            if t not in threads_before and t.is_alive()
+        ]
+        assert leaked_threads == []
+        leaked_children = [
+            p for p in multiprocessing.active_children()
+            if p not in children_before
+        ]
+        assert leaked_children == []

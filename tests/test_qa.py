@@ -40,6 +40,7 @@ from repro.qa.faults import (
     FaultPlan,
     check_addon_chaos,
     check_ingest_faults,
+    check_campaign_resume,
     check_kill_resume,
     check_mitigation_chaos,
     check_serve_snapshot,
@@ -548,3 +549,44 @@ class TestFuzzCli:
         )
         assert code == 1
         assert "crash" in capsys.readouterr().out
+
+
+class TestCampaignFaults:
+    def test_kill_resume_is_lossless(self, small_scenario, small_world):
+        specs, _, _ = small_world
+        divergences = check_campaign_resume(
+            small_scenario, specs, _identity_mutate
+        )
+        assert divergences == []
+
+    def test_catches_corrupted_resume(self, small_scenario, small_world):
+        specs, _, _ = small_world
+
+        def corrupt(name, value):
+            if name == "campaign":
+                next(iter(value.cohorts.values())).users_leaking += 1
+            return value
+
+        divergences = check_campaign_resume(small_scenario, specs, corrupt)
+        assert divergences
+        assert divergences[0].component == "campaign[kill+resume]"
+
+    def test_campaign_mutation_canary(self, small_scenario):
+        """A corrupted campaign partial must trip the byte pins."""
+
+        def bump(campaign):
+            next(iter(campaign.cohorts.values())).users_leaking += 1
+            return campaign
+
+        report = run_oracle(small_scenario, mutators={"campaign": bump})
+        assert not report.ok
+        assert report.stats["campaign_checks"] >= 5
+        assert all(
+            d.component.startswith("campaign") for d in report.divergences
+        )
+
+    def test_old_fault_plan_dict_defaults_campaign_check_on(self):
+        plan = FaultPlan(kill_events=(5,))
+        data = plan.to_dict()
+        data.pop("campaign_check")
+        assert FaultPlan.from_dict(data).campaign_check is True
